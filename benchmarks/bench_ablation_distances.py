@@ -1,0 +1,20 @@
+"""Distance-function ablation: star distance as a GED surrogate."""
+
+from conftest import run_once
+
+from repro.bench.distances import ablation_distance_quality
+from repro.bench.printers import print_and_save
+
+
+def test_ablation_distance_quality(benchmark):
+    result = run_once(benchmark, ablation_distance_quality)
+    print_and_save(result)
+    by_name = {row["distance"]: row for row in result.rows}
+    # The substitution argument: star distance ranks pairs like exact GED...
+    assert by_name["star_metric"]["spearman_vs_exact"] > 0.8
+    # ...while remaining a metric (the NB-Index requirement)...
+    assert by_name["star_metric"]["metric_on_sample"]
+    # ...and the upper-bound estimators are valid upper bounds.
+    assert by_name["bipartite_ub"]["always_upper_bound"]
+    assert by_name["beam8_ub"]["always_upper_bound"]
+    assert by_name["exact_astar"]["always_upper_bound"]

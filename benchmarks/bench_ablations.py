@@ -1,0 +1,57 @@
+"""Ablations beyond the paper: VP count, branching factor, pi-hat ladder
+density, and bound components (DESIGN.md §4)."""
+
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import (
+    ablation_bounds,
+    ablation_branching,
+    ablation_ladder_density,
+    ablation_vp_count,
+)
+
+
+def test_ablation_vp_count(benchmark, dud_ctx):
+    result = run_once(benchmark, ablation_vp_count, dud_ctx, (2, 8, 20))
+    print_and_save(result)
+    fprs = result.column("observed_fpr")
+    # More vantage points → tighter candidate sets (monotone FPR).
+    assert fprs == sorted(fprs, reverse=True)
+
+
+def test_ablation_branching(benchmark, dud_ctx):
+    result = run_once(benchmark, ablation_branching, dud_ctx, (3, 8, 20))
+    print_and_save(result)
+    heights = result.column("tree_height")
+    assert heights == sorted(heights, reverse=True)  # bigger b → flatter
+
+
+def test_ablation_ladder_density(benchmark, dud_ctx):
+    result = run_once(benchmark, ablation_ladder_density, dud_ctx, (1, 3, 10))
+    print_and_save(result)
+    assert len(result.rows) == 3
+
+
+def test_ablation_bounds(benchmark, dud_ctx):
+    result = run_once(benchmark, ablation_bounds, dud_ctx)
+    print_and_save(result)
+    pis = result.column("pi")
+    # Every variant returns an equally good greedy answer.
+    assert max(pis) - min(pis) < 1e-9
+
+
+def test_ablation_insert_degradation(benchmark):
+    from repro.bench.scaling import ablation_insert_degradation
+
+    result = run_once(benchmark, ablation_insert_degradation, "dud", 150, 40)
+    print_and_save(result)
+    by_name = {row["index"]: row for row in result.rows}
+    # Both indexes produce valid greedy answers of comparable quality (tie
+    # resolution may differ between trees, so exact equality is not
+    # guaranteed), and incremental maintenance beats rebuilding.
+    assert abs(by_name["incremental"]["pi"] - by_name["rebuilt"]["pi"]) < 0.15
+    assert (
+        by_name["incremental"]["maintenance_s"]
+        < by_name["rebuilt"]["maintenance_s"]
+    )

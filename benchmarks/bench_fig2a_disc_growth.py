@@ -1,0 +1,18 @@
+"""Fig. 2(a): DisC answer-set growth vs number of relevant objects."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig2a_disc_growth
+from repro.bench.printers import print_and_save
+
+
+def test_fig2a_disc_growth(benchmark, dud_ctx):
+    result = run_once(benchmark, fig2a_disc_growth, dud_ctx)
+    print_and_save(result)
+    sizes = result.column("answer_size")
+    relevants = result.column("relevant")
+    # Paper claim: answer grows with |L_q| (near-linear, no budget control).
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+    # Paper claim: compression ratio stays low (≈3 on DUD).
+    assert max(result.column("compression_ratio")) < 10

@@ -1,0 +1,21 @@
+"""Fig. 2(b): Algorithm 1 over NN-indexes does not scale with database size."""
+
+from conftest import run_once
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig2b_baseline_scaling
+
+
+def test_fig2b_baseline_scaling(benchmark):
+    result = run_once(
+        benchmark, fig2b_baseline_scaling, "dud", sweep_sizes(), 10
+    )
+    print_and_save(result)
+    # Paper claim: runtime grows superlinearly with size for every
+    # NN-index-backed variant of Algorithm 1.
+    times = result.column("ctree_greedy_s")
+    sizes = result.column("size")
+    assert times[-1] > times[0]
+    growth = times[-1] / max(times[0], 1e-9)
+    assert growth > (sizes[-1] / sizes[0]) * 0.5  # at least near-linear

@@ -1,0 +1,17 @@
+"""Figs. 5(a-b): cumulative pairwise-distance distributions per dataset."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig5ab_distance_cdf
+from repro.bench.printers import print_and_save
+
+
+def test_fig5ab_distance_cdf(benchmark, all_contexts):
+    result = run_once(benchmark, fig5ab_distance_cdf, all_contexts)
+    print_and_save(result)
+    for ctx in all_contexts:
+        series = [r for r in result.rows if r["dataset"] == ctx.name]
+        cdf = [r["cdf"] for r in series]
+        # CDF is monotone and reaches 1 at the sampled diameter.
+        assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == 1.0

@@ -1,0 +1,19 @@
+"""Figs. 5(c-e): distance histograms and their Gaussian moments."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig5ce_distance_hist
+from repro.bench.printers import print_and_save
+
+
+def test_fig5ce_distance_hist(benchmark, all_contexts):
+    result = run_once(benchmark, fig5ce_distance_hist, all_contexts)
+    print_and_save(result)
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset[row["dataset"]] = (row["mu"], row["sigma"])
+    # Paper geometry: Amazon's distances are relatively more dispersed than
+    # DBLP's (the reason its theta is an order of magnitude larger).
+    dblp_cv = by_dataset["dblp"][1] / by_dataset["dblp"][0]
+    amazon_cv = by_dataset["amazon"][1] / by_dataset["amazon"][0]
+    assert amazon_cv > dblp_cv

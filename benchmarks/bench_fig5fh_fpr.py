@@ -1,0 +1,20 @@
+"""Figs. 5(f-h): observed vantage FPR vs the Eq. 11 upper bound."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import fig5fh_fpr
+from repro.bench.printers import print_and_save
+
+
+@pytest.mark.parametrize("ctx_name", ["dud", "dblp", "amazon"])
+def test_fig5fh_fpr(benchmark, ctx_name, request):
+    ctx = request.getfixturevalue(f"{ctx_name}_ctx")
+    result = run_once(benchmark, fig5fh_fpr, ctx)
+    print_and_save(result)
+    for row in result.rows:
+        assert 0.0 <= row["observed_fpr"] <= 1.0
+        assert 0.0 <= row["fpr_upper_bound"] <= 1.0
+    # Paper claim: in the realistic theta zone the FPR stays small.
+    at_theta = [r for r in result.rows if abs(r["theta"] - ctx.theta) < 1e-9]
+    assert at_theta[0]["observed_fpr"] <= 0.5

@@ -1,0 +1,27 @@
+"""Figs. 5(i-k): query time vs theta for every engine (+ matrix inset on DUD)."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig5ik_time_vs_theta
+
+
+@pytest.mark.parametrize("ctx_name,include_matrix", [
+    ("dud", True),      # Fig. 5(i), with the distance-matrix inset
+    ("dblp", False),    # Fig. 5(j)
+    ("amazon", False),  # Fig. 5(k)
+])
+def test_fig5ik_time_vs_theta(benchmark, ctx_name, include_matrix, request):
+    ctx = request.getfixturevalue(f"{ctx_name}_ctx")
+    result = run_once(
+        benchmark, fig5ik_time_vs_theta, ctx,
+        (0.6, 1.0, 1.8), 10, include_matrix,
+    )
+    print_and_save(result)
+    # Paper claim: NB-Index beats the NN-index engines across theta.
+    for row in result.rows:
+        assert row["nbindex_s"] <= row["ctree_greedy_s"] * 2.0
+    nb_total = sum(r["nbindex_s"] for r in result.rows)
+    ctree_total = sum(r["ctree_greedy_s"] for r in result.rows)
+    assert nb_total < ctree_total

@@ -1,0 +1,21 @@
+"""Figs. 5(l)/6(a): sensitivity to the gap between theta and the nearest
+indexed pi-hat threshold."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig5l6a_threshold_gap
+
+
+@pytest.mark.parametrize("ctx_name", ["dud", "amazon"])
+def test_fig5l6a_threshold_gap(benchmark, ctx_name, request):
+    ctx = request.getfixturevalue(f"{ctx_name}_ctx")
+    result = run_once(
+        benchmark, fig5l6a_threshold_gap, ctx, (0.0, 0.5, 1.5), 10
+    )
+    print_and_save(result)
+    times = result.column("query_s")
+    # Paper claim: even a large gap costs only modest extra time (bounded
+    # degradation, not blow-up).
+    assert max(times) < max(times[0], 0.05) * 50

@@ -1,0 +1,19 @@
+"""Figs. 6(b-d): query time vs dataset size per engine."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6bd_time_vs_size
+
+
+@pytest.mark.parametrize("dataset", ["dud", "dblp", "amazon"])
+def test_fig6bd_time_vs_size(benchmark, dataset):
+    result = run_once(
+        benchmark, fig6bd_time_vs_size, dataset, sweep_sizes(), 10
+    )
+    print_and_save(result)
+    # Paper claim: NB-Index scales better than the NN-index engines.
+    last = result.rows[-1]
+    assert last["nbindex_s"] < last["ctree_greedy_s"]

@@ -1,0 +1,20 @@
+"""Figs. 6(e-g): query time vs answer budget k."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6eg_time_vs_k
+
+
+@pytest.mark.parametrize("ctx_name", ["dud", "dblp", "amazon"])
+def test_fig6eg_time_vs_k(benchmark, ctx_name, request):
+    ctx = request.getfixturevalue(f"{ctx_name}_ctx")
+    result = run_once(benchmark, fig6eg_time_vs_k, ctx, (5, 10, 25))
+    print_and_save(result)
+    for row in result.rows:
+        assert row["nbindex_s"] < row["ctree_greedy_s"] * 2.0
+    # Paper claim: DIV is nearly flat in k (its per-k work is tiny once the
+    # diversity graph exists).
+    div_times = result.column("div_s")
+    assert max(div_times) < max(min(div_times), 0.01) * 20

@@ -1,0 +1,14 @@
+"""Fig. 6(h): query time vs feature dimensionality (DUD)."""
+
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6h_time_vs_dims
+
+
+def test_fig6h_time_vs_dims(benchmark, dud_ctx):
+    result = run_once(benchmark, fig6h_time_vs_dims, dud_ctx, (1, 5, 10), 10)
+    print_and_save(result)
+    # Paper claim: nearly flat — feature-space cost is negligible.
+    times = result.column("nbindex_s")
+    assert max(times) < max(min(times), 0.01) * 25

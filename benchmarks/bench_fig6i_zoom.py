@@ -1,0 +1,15 @@
+"""Fig. 6(i): interactive theta refinement (zoom in/out) response times."""
+
+from conftest import run_once
+
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6i_zoom
+
+
+def test_fig6i_zoom(benchmark, all_contexts):
+    result = run_once(benchmark, fig6i_zoom, all_contexts, 10, 4)
+    print_and_save(result)
+    # Paper claim: session-based refinement is much cheaper than
+    # recomputation from scratch.
+    for row in result.rows:
+        assert row["nb_refine_avg_s"] < row["ctree_recompute_avg_s"]

@@ -1,0 +1,16 @@
+"""Fig. 6(j): refinement response time vs dataset size."""
+
+from conftest import run_once
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6j_zoom_scaling
+
+
+def test_fig6j_zoom_scaling(benchmark):
+    result = run_once(
+        benchmark, fig6j_zoom_scaling, "dud", sweep_sizes(), 10, 3
+    )
+    print_and_save(result)
+    for row in result.rows:
+        assert row["nb_refine_avg_s"] < row["ctree_recompute_avg_s"]

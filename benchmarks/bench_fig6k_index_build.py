@@ -1,0 +1,19 @@
+"""Fig. 6(k): index construction time vs the full distance matrix."""
+
+from conftest import run_once
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6k_index_build
+
+
+def test_fig6k_index_build(benchmark):
+    result = run_once(benchmark, fig6k_index_build, "dud", sweep_sizes())
+    print_and_save(result)
+    for row in result.rows:
+        # Paper claims: NB-Index builds far cheaper than the matrix, and VP
+        # pruning leaves only a fraction of pairs needing exact distances
+        # (<1% at DUD scale; the fraction shrinks with database size).
+        assert row["nb_distance_calls"] < row["matrix_distance_calls"]
+    fractions = result.column("calls_fraction")
+    assert fractions[-1] < fractions[0]

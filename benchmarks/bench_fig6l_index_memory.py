@@ -1,0 +1,19 @@
+"""Fig. 6(l): index memory footprint growth."""
+
+from conftest import run_once
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.printers import print_and_save
+from repro.bench.scaling import fig6l_index_memory
+
+
+def test_fig6l_index_memory(benchmark):
+    result = run_once(benchmark, fig6l_index_memory, "dud", sweep_sizes())
+    print_and_save(result)
+    sizes = result.column("size")
+    nb = result.column("nb_index_bytes")
+    # Paper claim: linear growth — bytes/graph roughly constant, and far
+    # below the quadratic matrix at scale.
+    per_graph = [b / s for b, s in zip(nb, sizes)]
+    assert max(per_graph) < min(per_graph) * 3
+    assert nb[-1] < result.rows[-1]["matrix_bytes"] * 10

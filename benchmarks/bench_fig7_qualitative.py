@@ -1,0 +1,20 @@
+"""Fig. 7 / Sec. 8.4: traditional vs representative top-5 on the molecular
+dataset (single-target AChE-style query)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig7_qualitative
+from repro.bench.printers import print_and_save
+
+
+def test_fig7_qualitative(benchmark):
+    result = run_once(benchmark, fig7_qualitative)
+    print_and_save(result)
+    by_engine = {row["engine"]: row for row in result.rows}
+    top = by_engine["traditional_topk"]
+    rep = by_engine["representative"]
+    # Paper claims: the representative answer is structurally more diverse
+    # and covers more of the relevant set.
+    assert rep["mean_pairwise_dist"] >= top["mean_pairwise_dist"]
+    assert rep["pi"] >= top["pi"]
+    assert rep["CR"] >= top["CR"]

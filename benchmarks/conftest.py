@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Contexts are session-scoped: dataset generation and offline index builds
+happen once per dataset and are shared across benchmark files — matching
+the paper's setup, where indexes are built offline and only query time is
+measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchContext
+
+
+@pytest.fixture(scope="session")
+def dud_ctx() -> BenchContext:
+    return BenchContext.create("dud")
+
+
+@pytest.fixture(scope="session")
+def dblp_ctx() -> BenchContext:
+    return BenchContext.create("dblp")
+
+
+@pytest.fixture(scope="session")
+def amazon_ctx() -> BenchContext:
+    return BenchContext.create("amazon")
+
+
+@pytest.fixture(scope="session")
+def all_contexts(dud_ctx, dblp_ctx, amazon_ctx) -> list[BenchContext]:
+    return [dud_ctx, dblp_ctx, amazon_ctx]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Experiment drivers are full parameter sweeps, not micro-operations;
+    one round is the meaningful unit.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Collaboration-group scenario — the paper's DBLP application (Table 1,
+example 4 / Sec. 8.1).
+
+Database graphs are 2-hop collaboration neighborhoods labelled by research
+community; the feature is the group's activity level.  A top-k
+representative query returns the most active groups that *don't overlap*:
+each exemplar stands for a distinct cluster of collaboration structures,
+answering "do the most active groups collaborate within one community or
+across several?".
+
+This example also shows the NB-Index session API: the index is built once
+and the relevance function reused across queries.
+
+Run:  python examples/collaboration_groups.py
+"""
+
+from collections import Counter
+
+from repro import NBIndex, StarDistance, quartile_relevance
+from repro.datasets import calibrate_theta, dblp_like
+
+
+def community_profile(graph):
+    """Fraction of members in the group's dominant community."""
+    counts = Counter(graph.node_labels)
+    dominant, count = counts.most_common(1)[0]
+    return dominant, count / graph.num_nodes
+
+
+def main():
+    database = dblp_like(num_graphs=250, seed=3)
+    distance = StarDistance()
+    theta = calibrate_theta(database, distance, quantile=0.05, rng=3)
+    print(f"{len(database)} collaboration groups; theta={theta:.0f}")
+
+    index = NBIndex.build(
+        database, distance, num_vantage_points=12, branching=8, rng=3
+    )
+    print(f"NB-Index built in {index.build_seconds:.1f}s "
+          f"({index.distance_calls} edit distances)")
+
+    # Relevant = most active quartile; the session is reused for both k's.
+    q = quartile_relevance(database)
+    session = index.session(q)
+
+    for k in (5, 10):
+        result = session.query(theta, k)
+        print(f"\ntop-{k} representative groups "
+              f"(pi={result.pi:.2f}, CR={result.compression_ratio:.1f}):")
+        for gid in result.answer:
+            graph = database[gid]
+            dominant, purity = community_profile(graph)
+            activity = database.feature_vector(gid)[0]
+            kind = "single-community" if purity > 0.8 else "cross-community"
+            print(f"  group {gid:>3}: {graph.num_nodes} members, "
+                  f"activity {activity:6.1f}, dominant community {dominant} "
+                  f"({purity:.0%} — {kind})")
+
+    print("\nEach exemplar represents a distinct cluster of active "
+          "collaboration structures; overlapping neighborhoods were "
+          "penalized away by the representative objective.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Drug discovery scenario — the paper's Sec. 8.4 / Fig. 7 workflow.
+
+A chemist screens a molecular library against one protein target (the
+paper uses acetylcholinesterase, the Alzheimer's drug target) and wants a
+handful of lead molecules.  Two queries are compared:
+
+* the *traditional top-k*: the 5 highest-affinity molecules — which tend
+  to be decorations of one scaffold (chloro- vs bromo-benzene, Fig. 1(a));
+* the *top-k representative* query: 5 relevant molecules that jointly
+  represent the relevant set — one lead per structural family.
+
+Run:  python examples/drug_discovery.py
+"""
+
+from repro import StarDistance, baseline_greedy, quartile_relevance
+from repro.analysis import evaluate_answers
+from repro.baselines import answer_set_redundancy, traditional_top_k
+from repro.datasets import calibrate_theta, dud_like
+
+TARGET = 0  # index of the screened protein target
+K = 5
+
+
+def describe(database, answer, label):
+    print(f"\n{label}")
+    for gid in answer:
+        graph = database[gid]
+        histogram = graph.label_histogram()
+        formula = "".join(
+            f"{symbol}{count}" for symbol, count in sorted(histogram.items())
+        )
+        print(f"  molecule {gid:>3}: {formula} "
+              f"({graph.num_nodes} atoms, {graph.num_edges} bonds)")
+
+
+def main():
+    database = dud_like(num_graphs=400, seed=11, outlier_fraction=0.0)
+    distance = StarDistance()
+    theta = calibrate_theta(database, distance, quantile=0.05, rng=11)
+
+    # Relevance: top quartile of affinity against the chosen target.
+    q = quartile_relevance(database, dims=[TARGET])
+    relevant = database.relevant_indices(q)
+    print(f"screened {len(database)} molecules; "
+          f"{len(relevant)} active against target {TARGET}; theta={theta:.1f}")
+
+    top = traditional_top_k(database, q, K)
+    rep = baseline_greedy(database, distance, q, theta, K)
+
+    describe(database, top, f"Traditional top-{K} (affinity order):")
+    describe(database, rep.answer, f"Top-{K} representative (REP):")
+
+    quality = evaluate_answers(
+        database, distance, q, theta,
+        {"traditional": top, "representative": rep.answer},
+    )
+    spread_top = answer_set_redundancy(database, distance, top)
+    spread_rep = answer_set_redundancy(database, distance, rep.answer)
+
+    print("\nanswer-set comparison:")
+    print(f"  {'':<16}{'pi(A)':>8}{'CR':>8}{'mean pairwise dist':>22}")
+    print(f"  {'traditional':<16}{quality['traditional']['pi']:>8.3f}"
+          f"{quality['traditional']['compression_ratio']:>8.1f}"
+          f"{spread_top['mean']:>22.1f}")
+    print(f"  {'representative':<16}{quality['representative']['pi']:>8.3f}"
+          f"{quality['representative']['compression_ratio']:>8.1f}"
+          f"{spread_rep['mean']:>22.1f}")
+    print("\nThe representative answer spans distinct scaffold families "
+          "(larger pairwise distances) and covers far more of the active "
+          "molecules — one lead per family to take into assays.")
+
+
+if __name__ == "__main__":
+    main()

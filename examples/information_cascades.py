@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Information-cascade scenario — Table 1, Example 2 of the paper.
+
+A database of cascade propagation trees, each tagged with the topics it
+covers; the analyst queries for cascades about a topic set.  The paper's
+warning: a traditional top-k "is prone to identifying cascades from a
+single community of highly active users — cascades arising out of populous
+countries are likely to eclipse remaining communities."  The top-k
+representative query fixes this by rewarding coverage of the distinct
+cascade *structures*, which track communities.
+
+Run:  python examples/information_cascades.py
+"""
+
+from collections import Counter
+
+from repro import StarDistance, baseline_greedy
+from repro.baselines import traditional_top_k
+from repro.datasets import calibrate_theta
+from repro.datasets.cascades import cascades_like, origin_community, topic_query
+
+QUERY_TOPICS = [0, 2, 4, 6]  # a broad topic set matching several communities
+K = 6
+
+
+def community_mix(database, answer):
+    return Counter(origin_community(database[gid]) for gid in answer)
+
+
+def main():
+    database = cascades_like(num_graphs=400, seed=17)
+    distance = StarDistance()
+    theta = calibrate_theta(database, distance, quantile=0.05, rng=17)
+    q = topic_query(QUERY_TOPICS, threshold=0.2)
+    relevant = database.relevant_indices(q)
+
+    print(f"{len(database)} cascades; {len(relevant)} relevant to topics "
+          f"{QUERY_TOPICS}; theta={theta:.0f}")
+    overall = Counter(origin_community(g) for g in database)
+    print("community sizes in the database:",
+          dict(sorted(overall.items())))
+
+    top = traditional_top_k(database, q, K)
+    rep = baseline_greedy(database, distance, q, theta, K)
+
+    print(f"\ntraditional top-{K} origins:  "
+          f"{dict(sorted(community_mix(database, top).items()))}")
+    print(f"representative top-{K} origins: "
+          f"{dict(sorted(community_mix(database, rep.answer).items()))}")
+    print(f"\ncoverage: traditional-style ranking ignores it; "
+          f"REP covers pi={rep.pi:.2f} of relevant cascades "
+          f"(CR={rep.compression_ratio:.1f}).")
+    print("The representative answer spreads across communities instead of "
+          "echoing the most populous one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e . --no-use-pep517` works in
+offline environments that lack the `wheel` package required by PEP-517
+editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — Top-k Representative Queries on Graph Databases (SIGMOD 2014).
+
+A from-scratch reproduction of the REP model and NB-Index of Ranu, Hoang
+and Singh, with every substrate (graph edit distance, metric indexes) and
+every compared baseline (DisC, DIV, C-tree, M-tree) implemented in Python.
+
+Typical usage::
+
+    from repro import TopKRepresentativeQuery, quartile_relevance
+    from repro.datasets import dud_like
+
+    database = dud_like(num_graphs=500, seed=7)
+    engine = TopKRepresentativeQuery(database)
+    q = quartile_relevance(database)
+    result = engine.run(q, theta=10.0, k=10)
+    exemplars = [database[i] for i in result.answer]
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+from repro.core import (
+    QueryResult,
+    QueryStats,
+    RefinementSession,
+    TopKRepresentativeQuery,
+    baseline_greedy,
+    lazy_greedy,
+)
+from repro.ged import ExactGED, StarDistance
+from repro.graphs import (
+    GraphDatabase,
+    LabeledGraph,
+    quartile_relevance,
+)
+from repro.index import NBIndex, QuerySession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledGraph",
+    "GraphDatabase",
+    "quartile_relevance",
+    "ExactGED",
+    "StarDistance",
+    "NBIndex",
+    "QuerySession",
+    "QueryResult",
+    "QueryStats",
+    "TopKRepresentativeQuery",
+    "RefinementSession",
+    "baseline_greedy",
+    "lazy_greedy",
+    "__version__",
+]

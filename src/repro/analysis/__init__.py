@@ -1,0 +1,14 @@
+"""Analysis utilities: distance distributions and answer-set quality."""
+
+from repro.analysis.assignment import RepresentativeAssignment, assign_to_representatives
+from repro.analysis.distances import DistanceDistribution, sample_distances
+from repro.analysis.metrics import evaluate_answer, evaluate_answers
+
+__all__ = [
+    "assign_to_representatives",
+    "RepresentativeAssignment",
+    "DistanceDistribution",
+    "sample_distances",
+    "evaluate_answer",
+    "evaluate_answers",
+]

@@ -1,0 +1,61 @@
+"""Answer-set quality metrics (Table 4 and Sec. 8.3.1).
+
+Two quality measures drive the paper's efficacy comparison:
+
+* **compression ratio** ``CR = |N_θ(A)| / |A|`` — relevant objects
+  represented per exemplar;
+* **representative power** ``π(A)`` — the covered fraction of ``L_q``.
+
+Both are *model-independent*: they evaluate any answer set (REP, DisC,
+DIV, traditional top-k) against the same θ-neighborhood semantics, which
+is how Table 4 compares engines whose internal objectives differ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.representative import all_theta_neighborhoods, coverage
+from repro.ged.metric import GraphDistanceFn
+from repro.graphs.database import GraphDatabase
+
+
+def evaluate_answer(
+    answer: Iterable[int],
+    neighborhoods: Mapping[int, frozenset[int]],
+    num_relevant: int,
+) -> dict:
+    """CR and π of an arbitrary answer set under given θ-neighborhoods.
+
+    Answer entries without a neighborhood entry (non-relevant picks, which
+    can occur for traditional top-k) contribute no coverage but still count
+    toward |A|.
+    """
+    answer = [int(a) for a in answer]
+    known = [gid for gid in answer if gid in neighborhoods]
+    covered = coverage(neighborhoods, known)
+    return {
+        "answer_size": len(answer),
+        "covered": len(covered),
+        "compression_ratio": len(covered) / len(answer) if answer else 0.0,
+        "pi": len(covered) / num_relevant if num_relevant else 0.0,
+    }
+
+
+def evaluate_answers(
+    database: GraphDatabase,
+    distance: GraphDistanceFn,
+    query_fn,
+    theta: float,
+    answers: Mapping[str, Sequence[int]],
+) -> dict[str, dict]:
+    """Evaluate several engines' answers under one neighborhood computation.
+
+    Returns ``{engine_name: {answer_size, covered, compression_ratio, pi}}``.
+    """
+    relevant = [int(i) for i in database.relevant_indices(query_fn)]
+    neighborhoods = all_theta_neighborhoods(database, distance, relevant, theta)
+    return {
+        name: evaluate_answer(answer, neighborhoods, len(relevant))
+        for name, answer in answers.items()
+    }

@@ -1,0 +1,20 @@
+"""Competing algorithms and indexes the paper evaluates against."""
+
+from repro.baselines.disc import disc_greedy, is_valid_disc_answer
+from repro.baselines.div import div_topk
+from repro.baselines.ctree import Closure, CTree
+from repro.baselines.mtree import MTree
+from repro.baselines.distmatrix import DistanceMatrixOracle
+from repro.baselines.topk import answer_set_redundancy, traditional_top_k
+
+__all__ = [
+    "disc_greedy",
+    "is_valid_disc_answer",
+    "div_topk",
+    "CTree",
+    "Closure",
+    "MTree",
+    "DistanceMatrixOracle",
+    "traditional_top_k",
+    "answer_set_redundancy",
+]

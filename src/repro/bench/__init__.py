@@ -1,0 +1,29 @@
+"""Benchmark harness: per-table/figure experiment drivers and printers."""
+
+from repro.bench.harness import (
+    SCALES,
+    BenchContext,
+    ExperimentResult,
+    bench_scale,
+    dataset_size,
+    sweep_sizes,
+    timed_call,
+    write_result,
+)
+from repro.bench.printers import format_table, print_and_save
+from repro.bench import experiments, scaling
+
+__all__ = [
+    "BenchContext",
+    "ExperimentResult",
+    "SCALES",
+    "bench_scale",
+    "dataset_size",
+    "sweep_sizes",
+    "timed_call",
+    "write_result",
+    "format_table",
+    "print_and_save",
+    "experiments",
+    "scaling",
+]

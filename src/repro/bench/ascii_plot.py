@@ -1,0 +1,88 @@
+"""ASCII line charts for figure-type experiment results.
+
+The paper's evaluation is mostly figures; the harness's tables carry the
+numbers, and this module adds a quick visual: a monospace chart of one or
+more y-series against a shared x column, embedded in the ``results/``
+artifacts.  Log-scale is supported because most of the paper's runtime
+figures span orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import ExperimentResult
+from repro.utils.validation import require
+
+#: Glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    result: ExperimentResult,
+    x: str,
+    ys: list[str],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render ``ys`` against ``x`` from an experiment's rows.
+
+    Rows with missing values in any requested column are skipped.  Returns
+    a multi-line string: title, plot grid, x-range line and a legend.
+    """
+    require(len(ys) >= 1, "need at least one y series")
+    require(len(ys) <= len(_MARKERS), f"at most {len(_MARKERS)} series")
+    points: dict[str, list[tuple[float, float]]] = {y: [] for y in ys}
+    for row in result.rows:
+        if row.get(x) is None:
+            continue
+        for y in ys:
+            value = row.get(y)
+            if value is None:
+                continue
+            points[y].append((float(row[x]), float(value)))
+    all_xy = [p for series in points.values() for p in series]
+    require(len(all_xy) > 0, "no plottable points")
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, 1e-12))
+        return value
+
+    xs = [p[0] for p in all_xy]
+    ys_values = [transform(p[1]) for p in all_xy]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_values), max(ys_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, y_name in zip(_MARKERS, ys):
+        for x_value, y_value in points[y_name]:
+            col = int((x_value - x_lo) / x_span * (width - 1))
+            row_pos = int((transform(y_value) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row_pos][col] = marker
+
+    def y_label(level: float) -> str:
+        value = 10**level if log_y else level
+        return f"{value:10.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_chars in enumerate(grid):
+        level = y_hi - (y_hi - y_lo) * i / (height - 1)
+        prefix = y_label(level) if i % 4 == 0 else " " * 10
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x}: {x_lo:g} .. {x_hi:g}"
+        + ("   (log y)" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, ys)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""Benchmark harness plumbing: scales, contexts, result containers.
+
+Every experiment driver in :mod:`repro.bench.experiments` consumes a
+:class:`BenchContext` — a dataset plus lazily built engines (NB-Index,
+C-tree, M-tree, distance matrix) over a shared metric — and returns an
+:class:`ExperimentResult` of printable rows.  Scales are centralized here
+so ``pytest benchmarks/`` stays minutes-fast while the same drivers can be
+run standalone at larger sizes (``REPRO_BENCH_SCALE=medium|large``).
+
+The paper ran a Java implementation on datasets up to 128K graphs; pure
+Python is orders of magnitude slower per edit distance, so the default
+scale trades absolute size for preserved *shape* (see DESIGN.md §3.3).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baselines.ctree import CTree
+from repro.baselines.distmatrix import DistanceMatrixOracle
+from repro.baselines.mtree import MTree
+from repro.datasets import load as load_dataset
+from repro.ged.star import StarDistance
+from repro.graphs import quartile_relevance
+from repro.index import NBIndex
+
+#: Per-scale default database sizes for the three datasets.
+SCALES = {
+    "small": {"dud": 300, "dblp": 160, "amazon": 220, "sweep": (100, 200, 300)},
+    "medium": {"dud": 800, "dblp": 400, "amazon": 500, "sweep": (200, 400, 800)},
+    "large": {"dud": 2000, "dblp": 1000, "amazon": 1200, "sweep": (500, 1000, 2000)},
+}
+
+#: Directory where experiment tables are written.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+def bench_scale() -> str:
+    """Active scale name (``REPRO_BENCH_SCALE``, default ``small``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return scale
+
+
+def dataset_size(name: str) -> int:
+    return SCALES[bench_scale()][name]
+
+
+def sweep_sizes() -> tuple[int, ...]:
+    return SCALES[bench_scale()]["sweep"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    name: str
+    columns: list[str]
+    rows: list[dict]
+    notes: str = ""
+
+    def column(self, key: str) -> list:
+        return [row.get(key) for row in self.rows]
+
+
+@dataclass
+class BenchContext:
+    """A dataset with lazily built engines sharing one star-distance cache.
+
+    The star-profile cache (per-graph preprocessing) is shared across
+    engines — it is input parsing, not pair-distance work — while each
+    engine manages its own pair-distance accounting.
+    """
+
+    name: str
+    database: object
+    distance: StarDistance
+    theta: float
+    ladder: object
+    seed: int = 7
+    num_vantage_points: int = 12
+    branching: int = 8
+    _nbindex: NBIndex | None = field(default=None, repr=False)
+    _ctree: CTree | None = field(default=None, repr=False)
+    _mtree: MTree | None = field(default=None, repr=False)
+    _matrix: DistanceMatrixOracle | None = field(default=None, repr=False)
+
+    @classmethod
+    def create(cls, dataset: str, num_graphs: int | None = None, seed: int = 7,
+               **kwargs) -> "BenchContext":
+        distance = StarDistance()
+        spec = load_dataset(
+            dataset, distance,
+            num_graphs=num_graphs or dataset_size(dataset), seed=seed,
+        )
+        return cls(
+            name=dataset, database=spec.database, distance=distance,
+            theta=spec.theta, ladder=spec.ladder, seed=seed, **kwargs,
+        )
+
+    def relevance(self, quantile: float = 0.75, dims=None):
+        return quartile_relevance(self.database, dims=dims, quantile=quantile)
+
+    @property
+    def nbindex(self) -> NBIndex:
+        if self._nbindex is None:
+            self._nbindex = NBIndex.build(
+                self.database, self.distance,
+                num_vantage_points=self.num_vantage_points,
+                branching=self.branching, thresholds=self.ladder,
+                rng=self.seed,
+            )
+        return self._nbindex
+
+    @property
+    def ctree(self) -> CTree:
+        if self._ctree is None:
+            self._ctree = CTree(
+                self.database.graphs, self.distance, capacity=16, rng=self.seed
+            )
+        return self._ctree
+
+    @property
+    def mtree(self) -> MTree:
+        if self._mtree is None:
+            self._mtree = MTree(
+                self.database.graphs, self.distance, capacity=16, rng=self.seed
+            )
+        return self._mtree
+
+    @property
+    def matrix(self) -> DistanceMatrixOracle:
+        if self._matrix is None:
+            self._matrix = DistanceMatrixOracle(self.database, self.distance)
+        return self._matrix
+
+
+def timed_call(fn, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` once; return (result, wall seconds)."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def write_result(result: ExperimentResult, formatted: str) -> Path:
+    """Persist a formatted experiment table under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.name}.txt"
+    path.write_text(formatted)
+    return path

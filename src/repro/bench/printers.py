@@ -1,0 +1,98 @@
+"""Plain-text table rendering for experiment results.
+
+The paper reports tables and figure series; the harness renders both as
+aligned monospace tables, printed to stdout and persisted under
+``results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    columns = result.columns
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c)) for c in columns] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [f"== {result.name} =="]
+    if result.notes:
+        lines.append(result.notes)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+#: Chart specs per experiment-name prefix: (x, ys, log_y).  Applied
+#: automatically by :func:`print_and_save` when the columns are present —
+#: the results/ artifact then carries a figure-like view of the series.
+CHART_SPECS: dict[str, tuple[str, list[str], bool]] = {
+    "fig2a_disc_growth": ("relevant", ["answer_size"], False),
+    "fig2b_baseline_scaling": (
+        "size", ["plain_greedy_s", "ctree_greedy_s", "mtree_greedy_s"], True),
+    "fig5fh_fpr": ("theta", ["observed_fpr", "fpr_upper_bound"], True),
+    "fig5ik_time_vs_theta": (
+        "theta", ["nbindex_s", "ctree_greedy_s", "disc_s", "div_s"], True),
+    "fig5l6a_threshold_gap": ("indexed_theta_gap", ["query_s"], False),
+    "fig6bd_time_vs_size": (
+        "size", ["nbindex_s", "ctree_greedy_s", "disc_s", "div_s"], True),
+    "fig6eg_time_vs_k": (
+        "k", ["nbindex_s", "ctree_greedy_s", "disc_s", "div_s"], True),
+    "fig6h_time_vs_dims": ("dims", ["nbindex_s", "ctree_greedy_s"], True),
+    "fig6j_zoom_scaling": (
+        "size", ["nb_refine_avg_s", "ctree_recompute_avg_s"], True),
+    "fig6k_index_build": ("size", ["nb_build_s", "matrix_build_s"], True),
+    "fig6l_index_memory": ("size", ["nb_index_bytes", "matrix_bytes"], True),
+    "ablation_vp_count": ("num_vps", ["observed_fpr"], True),
+}
+
+
+def chart_for(result: ExperimentResult) -> str | None:
+    """The ASCII chart registered for this experiment, if any."""
+    from repro.bench.ascii_plot import ascii_chart
+
+    for prefix, (x, ys, log_y) in CHART_SPECS.items():
+        if result.name.startswith(prefix):
+            usable = [y for y in ys if any(r.get(y) is not None
+                                           for r in result.rows)]
+            if not usable:
+                return None
+            try:
+                return ascii_chart(result, x, usable, log_y=log_y,
+                                   title=f"[{result.name}]")
+            except ValueError:
+                return None
+    return None
+
+
+def print_and_save(result: ExperimentResult) -> str:
+    """Format (table + optional chart), print, persist under results/."""
+    from repro.bench.harness import write_result
+
+    formatted = format_table(result)
+    chart = chart_for(result)
+    if chart:
+        formatted = formatted + "\n" + chart
+    print(formatted)
+    write_result(result, formatted)
+    return formatted

@@ -1,0 +1,635 @@
+"""Scalability experiment drivers — Figs. 2(b), 5(i–l), 6(a–l) — and the
+design-choice ablations DESIGN.md calls out.
+
+Query-time comparisons follow the paper's setup (Sec. 8.2): the engines
+are NB-Index, Algorithm 1 over a C-tree, Greedy-DisC over an M-tree
+(stopped at size k), DIV's div-cut fed by C-tree range queries, and —
+for the Fig. 5(i) inset — greedy over a fully precomputed distance matrix.
+Index construction happens offline and is excluded from query timings,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.disc import disc_greedy
+from repro.baselines.div import div_topk
+from repro.bench.harness import BenchContext, ExperimentResult, timed_call
+from repro.core.greedy import baseline_greedy
+from repro.ged.metric import pairwise_matrix
+from repro.index import NBIndex, ThresholdLadder
+from repro.index.fpr import empirical_fpr
+
+DEFAULT_K = 10
+
+
+# ---------------------------------------------------------------------------
+# Engine runners: one timed top-k query each, on prebuilt indexes.
+# ---------------------------------------------------------------------------
+def run_nbindex(ctx: BenchContext, q, theta: float, k: int) -> float:
+    index = ctx.nbindex  # built offline
+    _, seconds = timed_call(index.query, q, theta, k)
+    return seconds
+
+
+def run_ctree_greedy(ctx: BenchContext, q, theta: float, k: int) -> float:
+    tree = ctx.ctree
+    _, seconds = timed_call(
+        baseline_greedy, ctx.database, ctx.distance, q, theta, k,
+        range_query=tree.range_query,
+    )
+    return seconds
+
+
+def run_disc(ctx: BenchContext, q, theta: float, k: int) -> float:
+    tree = ctx.mtree
+    _, seconds = timed_call(
+        disc_greedy, ctx.database, ctx.distance, q, theta,
+        range_query=tree.range_query, stop_at_k=k,
+    )
+    return seconds
+
+
+def run_div(ctx: BenchContext, q, theta: float, k: int) -> float:
+    tree = ctx.ctree
+    _, seconds = timed_call(
+        div_topk, ctx.database, ctx.distance, q, theta, k,
+        range_query=tree.range_query,
+    )
+    return seconds
+
+
+def run_matrix(ctx: BenchContext, q, theta: float, k: int) -> float:
+    oracle = ctx.matrix
+    _, seconds = timed_call(oracle.greedy, q, theta, k)
+    return seconds
+
+
+ENGINES = {
+    "nbindex": run_nbindex,
+    "ctree_greedy": run_ctree_greedy,
+    "disc": run_disc,
+    "div": run_div,
+}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2(b): the unindexed/NN-indexed baseline does not scale.
+# ---------------------------------------------------------------------------
+def fig2b_baseline_scaling(
+    dataset: str = "dud",
+    sizes=(100, 200, 300),
+    k: int = DEFAULT_K,
+    seed: int = 7,
+) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
+        q = ctx.relevance()
+        rows.append({
+            "size": size,
+            "ctree_greedy_s": run_ctree_greedy(ctx, q, ctx.theta, k),
+            "mtree_greedy_s": timed_call(
+                baseline_greedy, ctx.database, ctx.distance, q, ctx.theta, k,
+                range_query=ctx.mtree.range_query,
+            )[1],
+            "plain_greedy_s": timed_call(
+                baseline_greedy, ctx.database, ctx.distance, q, ctx.theta, k,
+            )[1],
+        })
+    return ExperimentResult(
+        name=f"fig2b_baseline_scaling_{dataset}",
+        columns=["size", "plain_greedy_s", "ctree_greedy_s", "mtree_greedy_s"],
+        rows=rows,
+        notes=(
+            "Paper Fig. 2(b): Algorithm 1 over NN-indexes (C-tree, DisC's "
+            "M-tree) grows superlinearly — >35 min at 5K graphs in the "
+            "paper's setting; the shape, not the absolute scale, is the "
+            "reproduced claim."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 5(i-k): query time vs theta, per dataset; dist-matrix inset.
+# ---------------------------------------------------------------------------
+def fig5ik_time_vs_theta(
+    ctx: BenchContext,
+    theta_factors=(0.6, 1.0, 1.5, 2.2),
+    k: int = DEFAULT_K,
+    include_matrix: bool = True,
+) -> ExperimentResult:
+    q = ctx.relevance()
+    # Force offline builds before timing.
+    ctx.nbindex, ctx.ctree, ctx.mtree
+    if include_matrix:
+        ctx.matrix
+    rows = []
+    for factor in theta_factors:
+        theta = ctx.theta * factor
+        row = {"theta": theta}
+        for name, runner in ENGINES.items():
+            row[f"{name}_s"] = runner(ctx, q, theta, k)
+        if include_matrix:
+            row["distmatrix_s"] = run_matrix(ctx, q, theta, k)
+        rows.append(row)
+    columns = ["theta"] + [f"{n}_s" for n in ENGINES]
+    if include_matrix:
+        columns.append("distmatrix_s")
+    return ExperimentResult(
+        name=f"fig5ik_time_vs_theta_{ctx.name}",
+        columns=columns,
+        rows=rows,
+        notes=(
+            "Paper Figs. 5(i-k): NB-Index up to 2 orders of magnitude "
+            "faster than DisC/C-tree/DIV; bell-shaped NB curve (Theorem 6 "
+            "rules small theta, Theorems 7-8 large theta); the distance "
+            "matrix inset is the best-case query-time comparator."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(l) / 6(a): sensitivity to the gap between theta and the ladder.
+# ---------------------------------------------------------------------------
+def fig5l6a_threshold_gap(
+    ctx: BenchContext,
+    gap_factors=(0.0, 0.25, 0.5, 1.0, 2.0),
+    k: int = DEFAULT_K,
+) -> ExperimentResult:
+    q = ctx.relevance()
+    theta = ctx.theta
+    rows = []
+    for factor in gap_factors:
+        gap = theta * factor
+        ladder = ThresholdLadder([theta + gap])
+        index = NBIndex.build(
+            ctx.database, ctx.distance,
+            num_vantage_points=ctx.num_vantage_points,
+            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+        )
+        _, seconds = timed_call(index.query, q, theta, k)
+        rows.append({
+            "indexed_theta_gap": gap,
+            "query_s": seconds,
+        })
+    return ExperimentResult(
+        name=f"fig5l6a_threshold_gap_{ctx.name}",
+        columns=["indexed_theta_gap", "query_s"],
+        rows=rows,
+        notes=(
+            "Paper Figs. 5(l)/6(a): looser pi-hat upper bounds (larger gap "
+            "between theta and the covering indexed threshold) cost only "
+            "modest extra time thanks to VOs and Theorems 7-8."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6(b-d): query time vs dataset size.
+# ---------------------------------------------------------------------------
+def fig6bd_time_vs_size(
+    dataset: str,
+    sizes=(100, 200, 300),
+    k: int = DEFAULT_K,
+    seed: int = 7,
+) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
+        q = ctx.relevance()
+        row = {"size": size}
+        for name, runner in ENGINES.items():
+            row[f"{name}_s"] = runner(ctx, q, ctx.theta, k)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"fig6bd_time_vs_size_{dataset}",
+        columns=["size"] + [f"{n}_s" for n in ENGINES],
+        rows=rows,
+        notes=(
+            "Paper Figs. 6(b-d): NB-Index more than an order of magnitude "
+            "faster and with a flatter growth rate than DisC/C-tree/DIV."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6(e-g): query time vs k.
+# ---------------------------------------------------------------------------
+def fig6eg_time_vs_k(
+    ctx: BenchContext,
+    ks=(5, 10, 25, 50),
+    ) -> ExperimentResult:
+    q = ctx.relevance()
+    ctx.nbindex, ctx.ctree, ctx.mtree
+    rows = []
+    for k in ks:
+        row = {"k": k}
+        for name, runner in ENGINES.items():
+            row[f"{name}_s"] = runner(ctx, q, ctx.theta, k)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"fig6eg_time_vs_k_{ctx.name}",
+        columns=["k"] + [f"{n}_s" for n in ENGINES],
+        rows=rows,
+        notes=(
+            "Paper Figs. 6(e-g): NB-Index grows slowly with k; DIV is "
+            "nearly flat (its per-k work is feature-space only after the "
+            "diversity graph is built)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6(h): query time vs feature dimensionality (DUD).
+# ---------------------------------------------------------------------------
+def fig6h_time_vs_dims(
+    ctx: BenchContext,
+    dims_list=(1, 3, 5, 10),
+    k: int = DEFAULT_K,
+) -> ExperimentResult:
+    rng = np.random.default_rng(ctx.seed)
+    ctx.nbindex, ctx.ctree
+    rows = []
+    for d in dims_list:
+        dims = sorted(
+            int(i) for i in rng.choice(ctx.database.num_features, size=d,
+                                       replace=False)
+        )
+        q = ctx.relevance(dims=dims)
+        rows.append({
+            "dims": d,
+            "nbindex_s": run_nbindex(ctx, q, ctx.theta, k),
+            "ctree_greedy_s": run_ctree_greedy(ctx, q, ctx.theta, k),
+        })
+    return ExperimentResult(
+        name=f"fig6h_time_vs_dims_{ctx.name}",
+        columns=["dims", "nbindex_s", "ctree_greedy_s"],
+        rows=rows,
+        notes=(
+            "Paper Fig. 6(h): nearly flat — feature-space work is "
+            "negligible next to structural distance computation; variation "
+            "tracks feature/structure correlation."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6(i-j): interactive zoom (theta refinement).
+# ---------------------------------------------------------------------------
+def fig6i_zoom(
+    contexts: list[BenchContext],
+    k: int = DEFAULT_K,
+    rounds: int = 6,
+) -> ExperimentResult:
+    """±10% θ refinements: NB session reuse vs recomputation from scratch
+    (the DisC/C-tree behaviour the paper contrasts against)."""
+    rows = []
+    for ctx in contexts:
+        q = ctx.relevance()
+        session = ctx.nbindex.session(q)
+        session.query(ctx.theta, k)  # initial query, not counted
+        rng = np.random.default_rng(ctx.seed)
+        theta = ctx.theta
+        nb_times = []
+        fresh_times = []
+        for _ in range(rounds):
+            theta *= 1.1 if rng.random() < 0.5 else 0.9
+            _, seconds = timed_call(session.query, theta, k)
+            nb_times.append(seconds)
+            fresh_times.append(run_ctree_greedy(ctx, q, theta, k))
+        rows.append({
+            "dataset": ctx.name,
+            "nb_refine_avg_s": float(np.mean(nb_times)),
+            "ctree_recompute_avg_s": float(np.mean(fresh_times)),
+        })
+    return ExperimentResult(
+        name="fig6i_zoom",
+        columns=["dataset", "nb_refine_avg_s", "ctree_recompute_avg_s"],
+        rows=rows,
+        notes=(
+            "Paper Fig. 6(i): NB-Index handles ±10% theta refinements in "
+            "seconds (initialization phase is reused); DisC/C-tree must "
+            "recompute neighborhoods from scratch (up to 160s in the paper)."
+        ),
+    )
+
+
+def fig6j_zoom_scaling(
+    dataset: str = "dud",
+    sizes=(100, 200, 300),
+    k: int = DEFAULT_K,
+    rounds: int = 4,
+    seed: int = 7,
+) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
+        q = ctx.relevance()
+        session = ctx.nbindex.session(q)
+        session.query(ctx.theta, k)
+        rng = np.random.default_rng(seed)
+        theta = ctx.theta
+        nb_times, fresh_times = [], []
+        for _ in range(rounds):
+            theta *= 1.1 if rng.random() < 0.5 else 0.9
+            _, seconds = timed_call(session.query, theta, k)
+            nb_times.append(seconds)
+            fresh_times.append(run_ctree_greedy(ctx, q, theta, k))
+        rows.append({
+            "size": size,
+            "nb_refine_avg_s": float(np.mean(nb_times)),
+            "ctree_recompute_avg_s": float(np.mean(fresh_times)),
+        })
+    return ExperimentResult(
+        name=f"fig6j_zoom_scaling_{dataset}",
+        columns=["size", "nb_refine_avg_s", "ctree_recompute_avg_s"],
+        rows=rows,
+        notes="Paper Fig. 6(j): refinement time grows much slower for NB-Index.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6(k-l): index construction cost and memory.
+# ---------------------------------------------------------------------------
+def fig6k_index_build(
+    dataset: str = "dud",
+    sizes=(100, 200, 300),
+    seed: int = 7,
+) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
+        index = ctx.nbindex
+        build_calls = index.distance_calls
+        matrix_started = time.perf_counter()
+        pairwise_matrix(ctx.database.graphs, ctx.distance)
+        matrix_seconds = time.perf_counter() - matrix_started
+        all_pairs = size * (size - 1) // 2
+        rows.append({
+            "size": size,
+            "nb_build_s": index.build_seconds,
+            "nb_distance_calls": build_calls,
+            "matrix_build_s": matrix_seconds,
+            "matrix_distance_calls": all_pairs,
+            "calls_fraction": build_calls / all_pairs,
+        })
+    return ExperimentResult(
+        name=f"fig6k_index_build_{dataset}",
+        columns=["size", "nb_build_s", "nb_distance_calls", "matrix_build_s",
+                 "matrix_distance_calls", "calls_fraction"],
+        rows=rows,
+        notes=(
+            "Paper Fig. 6(k): NB-Index builds orders of magnitude faster "
+            "than the full distance matrix; VP pruning leaves only a small "
+            "fraction of candidate pairs needing exact distances."
+        ),
+    )
+
+
+def fig6l_index_memory(
+    dataset: str = "dud",
+    sizes=(100, 200, 300),
+    seed: int = 7,
+) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
+        rows.append({
+            "size": size,
+            "nb_index_bytes": ctx.nbindex.memory_bytes(),
+            "matrix_bytes": size * size * 8,
+        })
+    return ExperimentResult(
+        name=f"fig6l_index_memory_{dataset}",
+        columns=["size", "nb_index_bytes", "matrix_bytes"],
+        rows=rows,
+        notes=(
+            "Paper Fig. 6(l): NB-Index memory grows linearly (<300MB for "
+            "all of DUD); the distance matrix grows quadratically."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper; design choices from DESIGN.md §4).
+# ---------------------------------------------------------------------------
+def ablation_vp_count(
+    ctx: BenchContext,
+    vp_counts=(2, 5, 10, 20, 40),
+    k: int = DEFAULT_K,
+    num_pairs: int = 800,
+) -> ExperimentResult:
+    """FPR and query time as |V| grows — the Sec. 6.2.1 trade-off."""
+    q = ctx.relevance()
+    rows = []
+    for count in vp_counts:
+        count = min(count, len(ctx.database))
+        index = NBIndex.build(
+            ctx.database, ctx.distance, num_vantage_points=count,
+            branching=ctx.branching, thresholds=ctx.ladder, rng=ctx.seed,
+        )
+        fpr = empirical_fpr(
+            index.embedding, ctx.distance, ctx.database.graphs, ctx.theta,
+            num_pairs=num_pairs, rng=ctx.seed,
+        )
+        _, seconds = timed_call(index.query, q, ctx.theta, k)
+        rows.append({
+            "num_vps": count,
+            "observed_fpr": fpr,
+            "query_s": seconds,
+            "build_s": index.build_seconds,
+        })
+    return ExperimentResult(
+        name=f"ablation_vp_count_{ctx.name}",
+        columns=["num_vps", "observed_fpr", "query_s", "build_s"],
+        rows=rows,
+        notes="More VPs: lower FPR, higher embedding cost — elbow expected.",
+    )
+
+
+def ablation_branching(
+    ctx: BenchContext,
+    branchings=(3, 8, 20, 40),
+    k: int = DEFAULT_K,
+) -> ExperimentResult:
+    q = ctx.relevance()
+    rows = []
+    for b in branchings:
+        index = NBIndex.build(
+            ctx.database, ctx.distance,
+            num_vantage_points=ctx.num_vantage_points, branching=b,
+            thresholds=ctx.ladder, rng=ctx.seed,
+        )
+        _, seconds = timed_call(index.query, q, ctx.theta, k)
+        rows.append({
+            "branching": b,
+            "build_s": index.build_seconds,
+            "query_s": seconds,
+            "tree_nodes": index.tree.num_nodes,
+            "tree_height": index.tree.height(),
+        })
+    return ExperimentResult(
+        name=f"ablation_branching_{ctx.name}",
+        columns=["branching", "build_s", "query_s", "tree_nodes", "tree_height"],
+        rows=rows,
+        notes=(
+            "Paper Sec. 6.4: small b suits memory-resident use (deeper tree, "
+            "finer clusters); b=40 matches the paper's on-disk default."
+        ),
+    )
+
+
+def ablation_ladder_density(
+    ctx: BenchContext,
+    ladder_sizes=(1, 3, 10, 20),
+    k: int = DEFAULT_K,
+) -> ExperimentResult:
+    from repro.index.pivec import choose_thresholds
+
+    q = ctx.relevance()
+    rows = []
+    for count in ladder_sizes:
+        ladder = choose_thresholds(
+            ctx.database.graphs, ctx.distance, count=count,
+            num_pairs=600, rng=ctx.seed,
+        )
+        index = NBIndex.build(
+            ctx.database, ctx.distance,
+            num_vantage_points=ctx.num_vantage_points,
+            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+        )
+        _, seconds = timed_call(index.query, q, ctx.theta, k)
+        gap = ladder.gap(ctx.theta)
+        rows.append({
+            "ladder_size": len(ladder),
+            "gap_at_theta": gap if gap is not None else -1.0,
+            "query_s": seconds,
+        })
+    return ExperimentResult(
+        name=f"ablation_pivec_ladder_{ctx.name}",
+        columns=["ladder_size", "gap_at_theta", "query_s"],
+        rows=rows,
+        notes="Denser ladders tighten pi-hat bounds; gap -1 means theta above ladder.",
+    )
+
+
+def ablation_insert_degradation(
+    dataset: str = "dud",
+    base_size: int = 200,
+    num_inserts: int = 50,
+    k: int = DEFAULT_K,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Incremental insertion vs full rebuild.
+
+    Builds an index on ``base_size`` graphs, inserts ``num_inserts`` more
+    one at a time, and compares query time and work against an index
+    rebuilt from scratch over the same ``base_size + num_inserts`` graphs.
+    Quantifies the conservative-geometry cost of :meth:`NBIndex.insert`.
+    """
+    from repro.datasets import GENERATORS
+    from repro.graphs.database import GraphDatabase
+
+    generator = GENERATORS[dataset]
+    # The generators draw graphs sequentially from one stream, so the
+    # larger database has the smaller one as a prefix.
+    full = generator(num_graphs=base_size + num_inserts, seed=seed)
+    base = full.subset(range(base_size))
+    ctx = BenchContext.create(dataset, num_graphs=base_size, seed=seed)
+
+    incremental = NBIndex.build(
+        base, ctx.distance, num_vantage_points=ctx.num_vantage_points,
+        branching=ctx.branching, rng=seed,
+    )
+    insert_started = time.perf_counter()
+    for position in range(base_size, base_size + num_inserts):
+        clone = GraphDatabase._copy_graph(full[position])
+        incremental.insert(clone, full.feature_vector(position))
+    insert_seconds = time.perf_counter() - insert_started
+
+    rebuilt = NBIndex.build(
+        full, ctx.distance, num_vantage_points=ctx.num_vantage_points,
+        branching=ctx.branching, rng=seed,
+    )
+
+    from repro.graphs import quartile_relevance
+
+    rows = []
+    for name, index in (("incremental", incremental), ("rebuilt", rebuilt)):
+        q = quartile_relevance(index.database)
+        result, seconds = timed_call(index.query, q, ctx.theta, k)
+        rows.append({
+            "index": name,
+            "query_s": seconds,
+            "pi": result.pi,
+            "distance_calls": result.stats.distance_calls,
+            "maintenance_s": insert_seconds if name == "incremental"
+            else rebuilt.build_seconds,
+        })
+    return ExperimentResult(
+        name=f"ablation_insert_{dataset}",
+        columns=["index", "query_s", "pi", "distance_calls", "maintenance_s"],
+        rows=rows,
+        notes=(
+            f"{num_inserts} inserts into a {base_size}-graph index vs full "
+            "rebuild: answers stay exact (equal pi), inserts are cheaper "
+            "than rebuilding, queries pay for the conservative radii."
+        ),
+    )
+
+
+def ablation_bounds(
+    ctx: BenchContext,
+    k: int = DEFAULT_K,
+) -> ExperimentResult:
+    """Bound components: full engine vs no Theorem 6-8 updates vs trivial
+    pi-hat (VO candidates only).
+
+    Each variant runs on a freshly built index so none benefits from a
+    distance cache warmed by an earlier variant.
+    """
+    q = ctx.relevance()
+
+    def fresh_index(ladder):
+        return NBIndex.build(
+            ctx.database, ctx.distance,
+            num_vantage_points=ctx.num_vantage_points,
+            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+        )
+
+    # A sub-theta ladder leaves every query above it → trivial |L_q| bound.
+    trivial_ladder = ThresholdLadder([1e-6])
+    variants = [
+        ("full", ctx.ladder, True),
+        ("no_updates", ctx.ladder, False),
+        ("vo_only", trivial_ladder, False),
+    ]
+    rows = []
+    for name, ladder, updates in variants:
+        index = fresh_index(ladder)
+        result, seconds = timed_call(
+            lambda: index.session(q).query(
+                ctx.theta, k, enable_updates=updates
+            )
+        )
+        rows.append({
+            "variant": name,
+            "query_s": seconds,
+            "exact_neighborhoods": result.stats.exact_neighborhoods,
+            "distance_calls": result.stats.distance_calls,
+            "pi": result.pi,
+        })
+    return ExperimentResult(
+        name=f"ablation_bounds_{ctx.name}",
+        columns=["variant", "query_s", "exact_neighborhoods",
+                 "distance_calls", "pi"],
+        rows=rows,
+        notes=(
+            "All variants return equal-quality greedy answers; the bounds "
+            "only change how much work finds them."
+        ),
+    )

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Wires the library's main workflows into subcommands::
+
+    repro generate dud --num-graphs 500 --seed 7 --output dud.jsonl
+    repro stats dud.jsonl
+    repro build-index dud.jsonl --output dud-index.npz
+    repro query dud.jsonl --k 10 [--theta 10] [--index dud-index.npz]
+    repro experiment fig2a_disc_growth
+
+``repro experiment`` runs any benchmark driver by name and prints its
+paper-style table (persisted under ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+def cmd_generate(args) -> int:
+    from repro.datasets import GENERATORS
+    from repro.graphs import save_database
+
+    generator = GENERATORS[args.dataset]
+    database = generator(num_graphs=args.num_graphs, seed=args.seed)
+    save_database(database, args.output)
+    summary = database.summary()
+    print(
+        f"wrote {args.output}: {summary['num_graphs']} graphs, "
+        f"avg {summary['avg_nodes']:.1f} nodes / {summary['avg_edges']:.1f} "
+        f"edges, {summary['num_features']} features"
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis import sample_distances
+    from repro.ged import StarDistance
+    from repro.graphs import load_database
+
+    database = load_database(args.database)
+    summary = database.summary()
+    print(f"graphs:   {summary['num_graphs']}")
+    print(f"avg size: {summary['avg_nodes']:.1f} nodes / "
+          f"{summary['avg_edges']:.1f} edges")
+    print(f"features: {summary['num_features']}d")
+    distribution = sample_distances(
+        database, StarDistance(),
+        num_pairs=min(args.num_pairs, len(database) * 4), rng=args.seed,
+    )
+    print(f"distance: mu={distribution.mean:.1f} sigma={distribution.std:.1f} "
+          f"max={distribution.diameter_estimate:.1f}")
+    for quantile in (0.01, 0.05, 0.25, 0.5):
+        print(f"  q{int(quantile * 100):>2} = {distribution.quantile(quantile):.1f}")
+    return 0
+
+
+def cmd_build_index(args) -> int:
+    from repro.ged import StarDistance
+    from repro.graphs import load_database
+    from repro.index import NBIndex, save_index
+
+    database = load_database(args.database)
+    index = NBIndex.build(
+        database, StarDistance(),
+        num_vantage_points=args.vantage_points, branching=args.branching,
+        rng=args.seed,
+    )
+    save_index(index, args.output)
+    print(
+        f"wrote {args.output}: {index.tree.num_nodes} tree nodes, "
+        f"{index.embedding.num_vantage_points} VPs, "
+        f"built in {index.build_seconds:.1f}s "
+        f"({index.distance_calls} edit distances)"
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.datasets import calibrate_theta
+    from repro.ged import StarDistance
+    from repro.graphs import load_database, quartile_relevance
+    from repro.index import NBIndex, load_index
+
+    database = load_database(args.database)
+    distance = StarDistance()
+    theta = args.theta
+    if theta is None:
+        theta = calibrate_theta(database, distance, quantile=0.05, rng=args.seed)
+        print(f"calibrated theta = {theta:.2f}")
+    dims = args.dims if args.dims else None
+    q = quartile_relevance(database, dims=dims, quantile=args.quantile)
+
+    if args.method == "greedy":
+        from repro.core import baseline_greedy
+
+        result = baseline_greedy(database, distance, q, theta, args.k)
+    else:
+        if args.index:
+            index = load_index(args.index, database, distance)
+        else:
+            index = NBIndex.build(
+                database, distance, num_vantage_points=args.vantage_points,
+                branching=args.branching, rng=args.seed,
+            )
+        result = index.query(q, theta, args.k)
+
+    print(f"relevant graphs: {result.num_relevant}")
+    print(f"pi(A) = {result.pi:.3f}   CR = {result.compression_ratio:.1f}")
+    print(f"{'rank':<6}{'graph':<8}{'gain':<6}{'nodes':<7}{'edges':<7}")
+    for rank, (gid, gain) in enumerate(zip(result.answer, result.gains), 1):
+        g = database[gid]
+        print(f"{rank:<6}{gid:<8}{gain:<6}{g.num_nodes:<7}{g.num_edges:<7}")
+    return 0
+
+
+#: The canonical reproduction set run by ``repro experiment --all``:
+#: (driver name, dataset argument or None for the subcommand default).
+ALL_EXPERIMENTS = (
+    ("fig2a_disc_growth", "dud"),
+    ("fig2b_baseline_scaling", "dud"),
+    ("table4_quality", None),
+    ("fig5ab_distance_cdf", None),
+    ("fig5ce_distance_hist", None),
+    ("fig5fh_fpr", "dud"),
+    ("fig5ik_time_vs_theta", "dud"),
+    ("fig5l6a_threshold_gap", "dud"),
+    ("fig6bd_time_vs_size", "dud"),
+    ("fig6eg_time_vs_k", "dud"),
+    ("fig6h_time_vs_dims", "dud"),
+    ("fig6i_zoom", None),
+    ("fig6j_zoom_scaling", "dud"),
+    ("fig6k_index_build", "dud"),
+    ("fig6l_index_memory", "dud"),
+    ("fig7_qualitative", None),
+    ("ablation_vp_count", "dud"),
+    ("ablation_branching", "dud"),
+    ("ablation_bounds", "dud"),
+    ("ablation_insert_degradation", "dud"),
+    ("ablation_distance_quality", None),
+)
+
+
+def cmd_experiment(args) -> int:
+    from repro.bench import BenchContext, print_and_save
+    from repro.bench import distances as distances_module
+    from repro.bench import experiments as experiments_module
+    from repro.bench import scaling as scaling_module
+
+    modules = (experiments_module, scaling_module, distances_module)
+
+    if getattr(args, "all", False):
+        failures = 0
+        for name, dataset in ALL_EXPERIMENTS:
+            print(f"--- running {name} ---")
+            sub = argparse.Namespace(
+                name=name, dataset=dataset or args.dataset,
+                seed=args.seed, all=False,
+            )
+            try:
+                failures += cmd_experiment(sub) != 0
+            except Exception as error:  # keep going; summarize at the end
+                print(f"{name} FAILED: {error}", file=sys.stderr)
+                failures += 1
+        print(f"completed {len(ALL_EXPERIMENTS) - failures}/"
+              f"{len(ALL_EXPERIMENTS)} experiments; tables in results/")
+        return 1 if failures else 0
+
+    name = args.name
+    if name is None:
+        print("experiment: provide a driver name or --all", file=sys.stderr)
+        return 2
+    driver = next(
+        (getattr(m, name) for m in modules if hasattr(m, name)), None
+    )
+    if driver is None:
+        available = sorted(
+            attr for module in modules
+            for attr in vars(module)
+            if attr.startswith(("fig", "table", "ablation"))
+        )
+        print(f"unknown experiment {name!r}; available:", file=sys.stderr)
+        for item in available:
+            print(f"  {item}", file=sys.stderr)
+        return 2
+
+    import inspect
+
+    parameters = inspect.signature(driver).parameters
+    first = next(iter(parameters))
+    if first == "ctx":
+        result = driver(BenchContext.create(args.dataset, seed=args.seed))
+    elif first == "contexts":
+        result = driver([
+            BenchContext.create(dataset, seed=args.seed)
+            for dataset in ("dud", "dblp", "amazon")
+        ])
+    elif first == "dataset":
+        result = driver(args.dataset, seed=args.seed)
+    else:
+        result = driver()
+    print_and_save(result)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k representative queries on graph databases "
+                    "(SIGMOD'14 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("dataset", choices=("dud", "dblp", "amazon", "cascades", "callgraphs"))
+    p.add_argument("--num-graphs", type=int, default=500)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = subparsers.add_parser("stats", help="summarize a database file")
+    p.add_argument("database")
+    p.add_argument("--num-pairs", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_stats)
+
+    p = subparsers.add_parser("build-index", help="build and save an NB-Index")
+    p.add_argument("database")
+    p.add_argument("--output", required=True)
+    p.add_argument("--vantage-points", type=int, default=20)
+    p.add_argument("--branching", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_build_index)
+
+    p = subparsers.add_parser("query", help="run a top-k representative query")
+    p.add_argument("database")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--theta", type=float, default=None,
+                   help="distance threshold (default: calibrated)")
+    p.add_argument("--quantile", type=float, default=0.75,
+                   help="relevance quantile (default: top quartile)")
+    p.add_argument("--dims", type=int, nargs="*", default=None,
+                   help="feature dims for relevance (default: all)")
+    p.add_argument("--method", choices=("nbindex", "greedy"), default="nbindex")
+    p.add_argument("--index", default=None, help="prebuilt index (.npz)")
+    p.add_argument("--vantage-points", type=int, default=20)
+    p.add_argument("--branching", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_query)
+
+    p = subparsers.add_parser("experiment", help="run a paper experiment driver")
+    p.add_argument("name", nargs="?", default=None,
+                   help="driver name, e.g. fig2a_disc_growth")
+    p.add_argument("--all", action="store_true",
+                   help="run the full reproduction set")
+    p.add_argument("--dataset", default="dud")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Exhaustive optimal answers for tiny instances.
+
+Top-k representative queries are NP-hard (Theorem 1), so the optimum is
+only computable by enumeration.  This module exists for validation: the
+test suite checks the greedy engines against the true optimum on small
+random instances, confirming the (1 − 1/e) guarantee of Theorem 2 end to
+end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from repro.core.representative import coverage
+from repro.utils.validation import require
+
+
+def optimal_answer(
+    neighborhoods: Mapping[int, frozenset[int]],
+    relevant: Sequence[int],
+    k: int,
+    max_candidates: int = 25,
+) -> tuple[tuple[int, ...], int]:
+    """The coverage-optimal size-≤k subset by exhaustive enumeration.
+
+    Returns ``(subset, covered_count)``.  Guarded by ``max_candidates``
+    because the search is ``C(|L_q|, k)`` — raise it knowingly.
+    """
+    relevant = [int(i) for i in relevant]
+    require(
+        len(relevant) <= max_candidates,
+        f"{len(relevant)} candidates exceed max_candidates={max_candidates}; "
+        "exhaustive search would blow up",
+    )
+    best_subset: tuple[int, ...] = ()
+    best_covered = 0
+    limit = min(k, len(relevant))
+    for subset in itertools.combinations(relevant, limit):
+        covered = len(coverage(neighborhoods, subset))
+        if covered > best_covered:
+            best_covered = covered
+            best_subset = subset
+    return best_subset, best_covered
+
+
+def greedy_guarantee_holds(
+    greedy_covered: int,
+    optimal_covered: int,
+) -> bool:
+    """``π(A_greedy) ≥ (1 − 1/e) · π(A*)`` (Eq. 7), in covered counts."""
+    if optimal_covered == 0:
+        return greedy_covered == 0
+    return greedy_covered >= (1.0 - 1.0 / 2.718281828459045) * optimal_covered - 1e-9

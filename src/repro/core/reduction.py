@@ -1,0 +1,164 @@
+"""The Set-Cover reduction of Theorem 1, as an executable construction.
+
+The paper proves NP-hardness by mapping a Set Cover instance
+``(U, S, k)`` to a graph database of three groups:
+
+* ``D1`` — one object ``s_i`` per subset ``S_i``;
+* ``D2`` — one object ``u_j`` per universe element ``e_j``, with
+  ``u_j ∈ N(s_i)`` iff ``e_j ∈ S_i``;
+* ``D3`` — per subset, a private group of ``x`` objects inside ``N(s_i)``,
+  where ``x = max_u π(u)`` over ``D2`` — inflating every ``s_i``'s
+  representative power above anything in ``D2 ∪ D3``.
+
+A set cover of size k exists iff some answer set reaches
+``π(A) = (|D2| + k(x+1)) / |D|``.
+
+Distances are realized by an explicit three-valued metric
+(0 / θ / 2θ — which satisfies the triangle inequality) over placeholder
+graphs, so the construction runs through every engine in the library,
+including the NB-Index.  This both documents the hardness proof and gives
+the test suite instances whose optimum is known by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import LabeledGraph
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A Set Cover decision instance: cover ``universe_size`` elements with
+    ``k`` of the given subsets."""
+
+    universe_size: int
+    subsets: tuple[frozenset[int], ...]
+
+    def __post_init__(self):
+        require(self.universe_size >= 1, "universe must be non-empty")
+        require(len(self.subsets) >= 1, "need at least one subset")
+        for subset in self.subsets:
+            for element in subset:
+                require(
+                    0 <= element < self.universe_size,
+                    f"element {element} outside universe",
+                )
+        covered = frozenset().union(*self.subsets)
+        require(
+            covered == frozenset(range(self.universe_size)),
+            "subsets must jointly cover the universe (otherwise no cover exists "
+            "for any k and the reduction is vacuous)",
+        )
+
+    def is_cover(self, chosen: Sequence[int]) -> bool:
+        """Do the chosen subset indices cover the universe?"""
+        covered: set[int] = set()
+        for index in chosen:
+            covered |= self.subsets[index]
+        return len(covered) == self.universe_size
+
+
+class LookupDistance:
+    """A metric given by an explicit neighbor relation.
+
+    ``d(g, g) = 0``; ``d = theta`` for declared neighbor pairs; ``d = 2θ``
+    otherwise.  Values {0, θ, 2θ} always satisfy the triangle inequality,
+    so this is a genuine metric over the placeholder graphs.
+    """
+
+    def __init__(self, theta: float, neighbor_pairs: set[tuple[int, int]]):
+        self.theta = float(theta)
+        self._neighbors = neighbor_pairs
+
+    def __call__(self, g1: LabeledGraph, g2: LabeledGraph) -> float:
+        a, b = g1.graph_id, g2.graph_id
+        if a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        return self.theta if key in self._neighbors else 2.0 * self.theta
+
+
+@dataclass
+class ReducedInstance:
+    """The representative-query instance produced by the reduction."""
+
+    database: GraphDatabase
+    distance: LookupDistance
+    theta: float
+    source: SetCoverInstance
+    #: database ids of D1 (subset gadgets), D2 (element gadgets), D3 (filler)
+    d1_ids: tuple[int, ...]
+    d2_ids: tuple[int, ...]
+    d3_ids: tuple[int, ...]
+    x: int
+
+    @property
+    def query_fn(self):
+        """Every gadget is relevant (the reduction classifies all three
+        groups as relevant)."""
+        from repro.graphs.relevance import WeightedScoreThreshold
+
+        return WeightedScoreThreshold([1.0], threshold=0.0)
+
+    def target_coverage(self, k: int) -> int:
+        """``|D2| + k(x+1)`` — the covered-count value attainable iff a set
+        cover of size k exists."""
+        return len(self.d2_ids) + k * (self.x + 1)
+
+    def target_pi(self, k: int) -> float:
+        return self.target_coverage(k) / len(self.database)
+
+    def subsets_of_answer(self, answer: Sequence[int]) -> list[int]:
+        """Map answer-set database ids back to subset indices (D1 only)."""
+        d1_position = {gid: i for i, gid in enumerate(self.d1_ids)}
+        return [d1_position[gid] for gid in answer if gid in d1_position]
+
+
+def reduce_set_cover(instance: SetCoverInstance, theta: float = 1.0) -> ReducedInstance:
+    """Construct the Theorem-1 gadget database for a Set Cover instance."""
+    subsets = instance.subsets
+    num_subsets = len(subsets)
+    universe = instance.universe_size
+
+    # x = max_u π(u) over D2 in *counts*: u_j's neighborhood holds itself
+    # plus every subset gadget containing e_j.
+    frequency = [0] * universe
+    for subset in subsets:
+        for element in subset:
+            frequency[element] += 1
+    x = 1 + max(frequency)
+
+    # Database ids: D1 then D2 then D3 (x filler gadgets per subset).
+    d1_ids = tuple(range(num_subsets))
+    d2_ids = tuple(range(num_subsets, num_subsets + universe))
+    d3_start = num_subsets + universe
+    d3_ids = tuple(range(d3_start, d3_start + x * num_subsets))
+
+    neighbor_pairs: set[tuple[int, int]] = set()
+    for i, subset in enumerate(subsets):
+        for element in subset:
+            neighbor_pairs.add((d1_ids[i], d2_ids[element]))
+        for slot in range(x):
+            filler = d3_start + i * x + slot
+            neighbor_pairs.add((d1_ids[i], filler))
+
+    total = num_subsets + universe + x * num_subsets
+    graphs = [LabeledGraph([f"o{i}"]) for i in range(total)]
+    database = GraphDatabase(graphs, np.ones((total, 1)))
+    distance = LookupDistance(theta, neighbor_pairs)
+    return ReducedInstance(
+        database=database,
+        distance=distance,
+        theta=theta,
+        source=instance,
+        d1_ids=d1_ids,
+        d2_ids=d2_ids,
+        d3_ids=d3_ids,
+        x=x,
+    )

@@ -1,0 +1,75 @@
+"""Interactive θ refinement — the paper's "zoom level" workflow (Sec. 7).
+
+Domain scientists rarely know the right θ up front; they home in on it by
+re-running the query at nearby thresholds, like adjusting the zoom level of
+a map.  The NB-Index was designed so refinements reuse the initialization
+phase; :class:`RefinementSession` packages that pattern: it keeps the
+underlying :class:`~repro.index.nbindex.QuerySession` alive, records the
+trajectory of (θ, result) pairs, and offers relative zoom steps (the ±10%
+moves benchmarked in Fig. 6(i)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import QueryResult
+from repro.index.nbindex import NBIndex
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class RefinementStep:
+    """One point on the refinement trajectory."""
+
+    theta: float
+    result: QueryResult
+    seconds: float
+
+
+class RefinementSession:
+    """Stateful θ-refinement over a fixed relevance function."""
+
+    def __init__(self, index: NBIndex, query_fn, k: int):
+        require_positive(k, "k")
+        self.k = k
+        self._session = index.session(query_fn)
+        self.history: list[RefinementStep] = []
+
+    @property
+    def current_theta(self) -> float | None:
+        return self.history[-1].theta if self.history else None
+
+    @property
+    def current_result(self) -> QueryResult | None:
+        return self.history[-1].result if self.history else None
+
+    def query(self, theta: float) -> QueryResult:
+        """Run (or re-run) the query at an explicit θ."""
+        import time
+
+        require_positive(theta, "theta")
+        started = time.perf_counter()
+        result = self._session.query(theta, self.k)
+        elapsed = time.perf_counter() - started
+        self.history.append(RefinementStep(theta, result, elapsed))
+        return result
+
+    def zoom_in(self, fraction: float = 0.1) -> QueryResult:
+        """Shrink θ by ``fraction`` (tighter neighborhoods, finer clusters)."""
+        return self._zoom(1.0 - fraction)
+
+    def zoom_out(self, fraction: float = 0.1) -> QueryResult:
+        """Grow θ by ``fraction`` (coarser view, broader representatives)."""
+        return self._zoom(1.0 + fraction)
+
+    def _zoom(self, factor: float) -> QueryResult:
+        if self.current_theta is None:
+            raise RuntimeError("no previous query to zoom from; call query() first")
+        return self.query(self.current_theta * factor)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RefinementSession k={self.k} steps={len(self.history)} "
+            f"theta={self.current_theta}>"
+        )

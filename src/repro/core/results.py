@@ -1,0 +1,68 @@
+"""Result and statistics types shared by every query engine.
+
+The NB-Index, the baseline greedy, and all competing algorithms report
+their answers through the same :class:`QueryResult`, so the benchmark
+harness and the quality metrics (π(A), compression ratio) treat engines
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one top-k query."""
+
+    distance_calls: int = 0
+    candidate_verifications: int = 0
+    exact_neighborhoods: int = 0
+    nodes_popped: int = 0
+    leaves_evaluated: int = 0
+    init_seconds: float = 0.0
+    search_seconds: float = 0.0
+    update_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.init_seconds + self.search_seconds + self.update_seconds
+
+
+@dataclass
+class QueryResult:
+    """Answer of a top-k representative query.
+
+    ``answer`` holds database graph ids in selection order; ``gains`` the
+    exact marginal gain (count of newly covered relevant graphs) of each
+    selection; ``covered`` the union of the answer's θ-neighborhoods over
+    the relevant set.
+    """
+
+    answer: list[int]
+    gains: list[int]
+    covered: frozenset[int]
+    num_relevant: int
+    theta: float
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def pi(self) -> float:
+        """Representative power π(A) ∈ [0, 1] (Eq. 3)."""
+        if self.num_relevant == 0:
+            return 0.0
+        return len(self.covered) / self.num_relevant
+
+    @property
+    def compression_ratio(self) -> float:
+        """``|N_θ(A)| / |A|`` — average relevant graphs per exemplar
+        (Table 4's CR)."""
+        if not self.answer:
+            return 0.0
+        return len(self.covered) / len(self.answer)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(k={len(self.answer)}, pi={self.pi:.3f}, "
+            f"CR={self.compression_ratio:.1f}, theta={self.theta:g})"
+        )

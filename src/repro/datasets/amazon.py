@@ -1,0 +1,76 @@
+"""Synthetic Amazon-like co-purchase dataset.
+
+Paper pipeline (Sec. 8.1): in the SNAP Amazon co-purchase network, node
+labels become the item category, 2-hop neighborhoods around items form the
+database graphs (avg 29 nodes / 189 edges), and a 1-D popularity feature
+characterizes each co-purchase graph.  The evaluation probes cross-category
+coupling among popular items.
+
+The distinguishing geometry of Amazon in the paper is that inter-graph
+distances are *much larger and more spread out* than in DUD/DBLP (Fig.
+5(b)/(e)) — the paper consequently sets θ=75 there versus 10 elsewhere.
+We reproduce that by making ego networks strongly heterogeneous: item
+popularity follows a heavy-tailed hub structure (a fraction of items get
+many extra co-purchase links), so 2-hop neighborhoods range from tiny star
+shops to large category-spanning hubs, stretching the distance spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.sbm import extract_two_hop, sample_block_model
+from repro.graphs.database import GraphDatabase
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+def amazon_like(
+    num_graphs: int = 500,
+    num_categories: int = 15,
+    category_size: int = 40,
+    p_intra: float = 0.05,
+    p_inter: float = 0.002,
+    hub_fraction: float = 0.02,
+    hub_links: int = 20,
+    max_nodes: int = 80,
+    seed=None,
+) -> GraphDatabase:
+    """Generate an Amazon-analog database of 2-hop co-purchase neighborhoods.
+
+    ``hub_fraction`` of items become cross-category hubs with ``hub_links``
+    extra uniformly random links — the heavy tail that both spreads the
+    distance distribution and creates the cross-category coupling the
+    original analysis looks for.  The 1-D feature is the item's popularity:
+    its degree plus noise.
+    """
+    require(num_graphs >= 1, "num_graphs must be >= 1")
+    rng = ensure_rng(seed)
+    network = sample_block_model(
+        [category_size] * num_categories, p_intra, p_inter, rng
+    )
+    # Promote hubs with extra cross-category links.
+    num_nodes = network.num_nodes
+    num_hubs = max(1, int(hub_fraction * num_nodes))
+    hubs = rng.choice(num_nodes, size=num_hubs, replace=False)
+    for hub in hubs:
+        hub = int(hub)
+        for _ in range(hub_links):
+            other = int(rng.integers(num_nodes))
+            if other != hub:
+                network.adjacency[hub].add(other)
+                network.adjacency[other].add(hub)
+
+    eligible = [
+        node for node in range(num_nodes) if network.degree(node) >= 2
+    ]
+    require(len(eligible) > 0, "network too sparse; raise p_intra")
+
+    graphs = []
+    popularity = np.empty(num_graphs)
+    for i in range(num_graphs):
+        center = int(eligible[int(rng.integers(len(eligible)))])
+        graph = extract_two_hop(network, center, max_nodes, "cat", rng)
+        graphs.append(graph)
+        popularity[i] = network.degree(center) + rng.normal(0.0, 1.0)
+    return GraphDatabase(graphs, popularity.reshape(-1, 1))

@@ -1,0 +1,105 @@
+"""Synthetic information-cascade dataset — Table 1, Example 2.
+
+The paper's second motivating application: a database of information
+cascade structures, each tagged with the set of topics it covers; the
+query function is Jaccard similarity against a user-provided topic set.
+A traditional top-k query "is prone to identifying cascades from a single
+community of highly active users … cascades arising out of populous
+countries are likely to eclipse remaining communities", which the
+representative model corrects.
+
+The generator reproduces that imbalance:
+
+* communities ("countries") have Zipf-distributed sizes, and cascades
+  originate from a community with probability proportional to its size —
+  so the biggest community floods the database;
+* a cascade is a propagation tree whose nodes are labelled with their
+  community (mostly the origin's, with occasional cross-community spread);
+  bigger communities also produce bigger cascades ("highly active users");
+* each community has preferred topics; a cascade's binary topic vector
+  follows its origin's preferences — so a topic query matches cascades
+  from several communities, but the populous ones dominate any
+  score-ranked list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import LabeledGraph
+from repro.graphs.relevance import JaccardTopicQuery
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+NUM_TOPICS = 12
+
+
+def _grow_cascade(
+    origin_community: int,
+    num_communities: int,
+    size: int,
+    cross_probability: float,
+    rng,
+) -> LabeledGraph:
+    """A propagation tree: each new node attaches to a random earlier one."""
+    communities = [origin_community]
+    edges = []
+    for node in range(1, size):
+        parent = int(rng.integers(node))
+        edges.append((parent, node))
+        if rng.random() < cross_probability:
+            community = int(rng.integers(num_communities))
+        else:
+            community = communities[parent]
+        communities.append(community)
+    labels = [f"u{c}" for c in communities]
+    return LabeledGraph(labels, edges)
+
+
+def cascades_like(
+    num_graphs: int = 500,
+    num_communities: int = 8,
+    cross_probability: float = 0.12,
+    seed=None,
+) -> GraphDatabase:
+    """Generate a cascade database with binary topic feature vectors."""
+    require(num_graphs >= 1, "num_graphs must be >= 1")
+    require(num_communities >= 2, "need at least two communities")
+    rng = ensure_rng(seed)
+
+    # Zipf community weights: community 0 is the "populous country".
+    weights = 1.0 / np.arange(1, num_communities + 1) ** 1.2
+    weights /= weights.sum()
+
+    # Per-community topic preferences: 3 favoured topics each, overlapping.
+    preferences = np.zeros((num_communities, NUM_TOPICS))
+    for community in range(num_communities):
+        favoured = (community * 2 + np.arange(3)) % NUM_TOPICS
+        preferences[community, favoured] = 0.75
+    preferences += 0.05
+
+    graphs: list[LabeledGraph] = []
+    topics = np.zeros((num_graphs, NUM_TOPICS))
+    for i in range(num_graphs):
+        origin = int(rng.choice(num_communities, p=weights))
+        # Populous communities host bigger cascades.
+        base_size = 6 + int(24 * weights[origin] / weights[0])
+        size = max(3, base_size + int(rng.integers(-3, 4)))
+        graphs.append(
+            _grow_cascade(origin, num_communities, size, cross_probability, rng)
+        )
+        topics[i] = (rng.random(NUM_TOPICS) < preferences[origin]).astype(float)
+        if not topics[i].any():
+            topics[i, int(rng.integers(NUM_TOPICS))] = 1.0
+    return GraphDatabase(graphs, topics)
+
+
+def topic_query(topics, threshold: float = 0.25) -> JaccardTopicQuery:
+    """The paper's Example-2 query: Jaccard(topics(g), T) ≥ threshold."""
+    return JaccardTopicQuery(topics, NUM_TOPICS, threshold)
+
+
+def origin_community(graph: LabeledGraph) -> str:
+    """The community label of a cascade's root node (node 0)."""
+    return graph.node_label(0)

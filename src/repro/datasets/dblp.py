@@ -1,0 +1,61 @@
+"""Synthetic DBLP-like collaboration dataset.
+
+Paper pipeline (Sec. 8.1): in the SNAP DBLP co-authorship network, node
+labels are replaced by the author's community, the complete 2-hop
+neighborhood around each node becomes a database graph (avg 55 nodes / 263
+edges — dense), and a 1-dimensional feature vector records the group's
+combined activity level.  The evaluation asks whether the most active
+collaboration groups stay within one community or span several.
+
+This generator rebuilds that pipeline over a from-scratch stochastic block
+model: moderately sized communities with strong intra-community density
+yield dense, community-dominated ego networks whose pairwise distances are
+tightly distributed (paper Fig. 5(d)) — the geometry the θ=10 setting is
+calibrated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.sbm import extract_two_hop, sample_block_model
+from repro.graphs.database import GraphDatabase
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+def dblp_like(
+    num_graphs: int = 500,
+    num_communities: int = 10,
+    community_size: int = 45,
+    p_intra: float = 0.25,
+    p_inter: float = 0.002,
+    max_nodes: int = 55,
+    seed=None,
+) -> GraphDatabase:
+    """Generate a DBLP-analog database of 2-hop collaboration neighborhoods.
+
+    The 1-D feature is the group's activity level: its collaboration-edge
+    count scaled by a per-center productivity factor plus noise, so dense
+    central groups score high — mirroring "combined activity level of each
+    collaboration group".
+    """
+    require(num_graphs >= 1, "num_graphs must be >= 1")
+    rng = ensure_rng(seed)
+    network = sample_block_model(
+        [community_size] * num_communities, p_intra, p_inter, rng
+    )
+    eligible = [
+        node for node in range(network.num_nodes) if network.degree(node) >= 2
+    ]
+    require(len(eligible) > 0, "network too sparse; raise p_intra")
+
+    graphs = []
+    activity = np.empty(num_graphs)
+    for i in range(num_graphs):
+        center = int(eligible[int(rng.integers(len(eligible)))])
+        graph = extract_two_hop(network, center, max_nodes, "c", rng)
+        graphs.append(graph)
+        productivity = 0.7 + 0.6 * rng.random()
+        activity[i] = graph.num_edges * productivity + rng.normal(0.0, 2.0)
+    return GraphDatabase(graphs, activity.reshape(-1, 1))

@@ -1,0 +1,44 @@
+"""Graph data model: labelled graphs, the graph database, relevance functions."""
+
+from repro.graphs.graph import (
+    DEFAULT_EDGE_LABEL,
+    LabeledGraph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.database import GraphDatabase
+from repro.graphs.relevance import (
+    And,
+    AverageScoreThreshold,
+    CallableQuery,
+    ExpertiseOverlapQuery,
+    Not,
+    Or,
+    JaccardTopicQuery,
+    QueryFunction,
+    WeightedScoreThreshold,
+    quartile_relevance,
+)
+from repro.graphs.io import load_database, save_database
+
+__all__ = [
+    "DEFAULT_EDGE_LABEL",
+    "LabeledGraph",
+    "GraphDatabase",
+    "QueryFunction",
+    "AverageScoreThreshold",
+    "WeightedScoreThreshold",
+    "JaccardTopicQuery",
+    "ExpertiseOverlapQuery",
+    "CallableQuery",
+    "And",
+    "Or",
+    "Not",
+    "quartile_relevance",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "load_database",
+    "save_database",
+]

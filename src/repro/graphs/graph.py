@@ -1,0 +1,246 @@
+"""The labelled-graph data model.
+
+The paper's database objects are undirected graphs whose vertices carry labels
+(atom symbols in DUD, community ids in DBLP, product categories in Amazon) and
+whose edges optionally carry labels (bond types).  :class:`LabeledGraph` is an
+immutable value object: build it once, then share it freely between indexes,
+caches and answer sets without defensive copies.
+
+Vertices are always the integers ``0 .. n-1``.  This keeps adjacency compact
+and lets the edit-distance code address vertices by array index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+#: Label used for edges when the caller does not supply one.
+DEFAULT_EDGE_LABEL = "-"
+
+
+class LabeledGraph:
+    """An immutable undirected graph with node labels and edge labels.
+
+    Parameters
+    ----------
+    node_labels:
+        One label per vertex; vertex ``i`` gets ``node_labels[i]``.
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, label)`` tuples with
+        ``0 <= u, v < len(node_labels)`` and ``u != v``.  Duplicate edges
+        (in either orientation) are rejected.
+    graph_id:
+        Optional stable identifier (e.g. position in the database); carried
+        along for provenance but ignored by equality.
+    """
+
+    __slots__ = ("_node_labels", "_adj", "_num_edges", "graph_id")
+
+    def __init__(
+        self,
+        node_labels: Iterable[str],
+        edges: Iterable[tuple] = (),
+        graph_id: int | None = None,
+    ):
+        self._node_labels: tuple[str, ...] = tuple(str(l) for l in node_labels)
+        n = len(self._node_labels)
+        adj: list[dict[int, str]] = [{} for _ in range(n)]
+        num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                label = DEFAULT_EDGE_LABEL
+            elif len(edge) == 3:
+                u, v, label = edge
+                label = str(label)
+            else:
+                raise ValueError(f"edge must be (u, v) or (u, v, label), got {edge!r}")
+            u, v = int(u), int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge {edge!r} references a vertex outside 0..{n - 1}")
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u} is not allowed")
+            if v in adj[u]:
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            adj[u][v] = label
+            adj[v][u] = label
+            num_edges += 1
+        self._adj: tuple[dict[int, str], ...] = tuple(adj)
+        self._num_edges = num_edges
+        self.graph_id = graph_id
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def node_labels(self) -> tuple[str, ...]:
+        return self._node_labels
+
+    def node_label(self, v: int) -> str:
+        return self._node_labels[v]
+
+    def nodes(self) -> range:
+        return range(len(self._node_labels))
+
+    def edges(self) -> Iterator[tuple[int, int, str]]:
+        """Yield each undirected edge once as ``(u, v, label)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, label in nbrs.items():
+                if u < v:
+                    yield (u, v, label)
+
+    def neighbors(self, v: int) -> Iterable[int]:
+        return self._adj[v].keys()
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def edge_label(self, u: int, v: int) -> str:
+        """Label of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._adj[u][v]
+
+    # ------------------------------------------------------------------
+    # Derived summaries (used by edit-distance bounds and closures)
+    # ------------------------------------------------------------------
+    def label_histogram(self) -> dict[str, int]:
+        """Multiset of node labels as a label → count mapping."""
+        hist: dict[str, int] = {}
+        for label in self._node_labels:
+            hist[label] = hist.get(label, 0) + 1
+        return hist
+
+    def edge_label_histogram(self) -> dict[str, int]:
+        """Multiset of edge labels as a label → count mapping."""
+        hist: dict[str, int] = {}
+        for _, _, label in self.edges():
+            hist[label] = hist.get(label, 0) + 1
+        return hist
+
+    def star(self, v: int) -> tuple[str, tuple[tuple[str, str], ...]]:
+        """The *star* of vertex ``v``: its label plus the sorted multiset of
+        ``(edge label, neighbor label)`` branch tokens.
+
+        Stars are the unit of comparison in the star edit distance of Zeng
+        et al. (PVLDB'09), which the paper cites as its edit-distance
+        reference [28].
+        """
+        branches = sorted(
+            (label, self._node_labels[u]) for u, label in self._adj[v].items()
+        )
+        return (self._node_labels[v], tuple(branches))
+
+    def stars(self) -> list[tuple[str, tuple[tuple[str, str], ...]]]:
+        """Stars of all vertices, in vertex order."""
+        return [self.star(v) for v in self.nodes()]
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` with ``label`` attributes."""
+        g = nx.Graph()
+        for v, label in enumerate(self._node_labels):
+            g.add_node(v, label=label)
+        for u, v, label in self.edges():
+            g.add_edge(u, v, label=label)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.Graph, graph_id: int | None = None) -> "LabeledGraph":
+        """Build from a networkx graph.
+
+        Node identities may be arbitrary hashables; they are renumbered to
+        ``0..n-1`` in sorted-by-insertion order.  Node/edge ``label``
+        attributes default to ``str(node)`` / :data:`DEFAULT_EDGE_LABEL`.
+        """
+        index = {node: i for i, node in enumerate(g.nodes())}
+        labels = [str(g.nodes[node].get("label", node)) for node in g.nodes()]
+        edges = [
+            (index[u], index[v], str(data.get("label", DEFAULT_EDGE_LABEL)))
+            for u, v, data in g.edges(data=True)
+        ]
+        return cls(labels, edges, graph_id=graph_id)
+
+    def permuted(self, permutation: "Iterable[int]") -> "LabeledGraph":
+        """The same graph under a vertex renumbering.
+
+        ``permutation[i]`` is the new id of old vertex ``i``; must be a
+        bijection on ``0..n-1``.  The result is isomorphic to ``self`` —
+        used to test isomorphism-invariant machinery (WL hashes, GED).
+        """
+        mapping = [int(p) for p in permutation]
+        if sorted(mapping) != list(range(self.num_nodes)):
+            raise ValueError("permutation must be a bijection on the vertices")
+        labels = [""] * self.num_nodes
+        for old, new in enumerate(mapping):
+            labels[new] = self._node_labels[old]
+        edges = [
+            (mapping[u], mapping[v], label) for u, v, label in self.edges()
+        ]
+        return LabeledGraph(labels, edges)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def canonical_form(self) -> tuple:
+        """A representation invariant under the stored vertex order.
+
+        Two graphs with the same labels and edge set (same numbering) compare
+        equal.  This is *not* isomorphism-invariant; it exists so tests and
+        caches can compare concrete graph objects cheaply.
+        """
+        edge_set = tuple(sorted(self.edges()))
+        return (self._node_labels, edge_set)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return self.canonical_form() == other.canonical_form()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
+
+    def __repr__(self) -> str:
+        gid = f" id={self.graph_id}" if self.graph_id is not None else ""
+        return f"<LabeledGraph{gid} |V|={self.num_nodes} |E|={self.num_edges}>"
+
+
+def path_graph(labels: Iterable[str], edge_label: str = DEFAULT_EDGE_LABEL) -> LabeledGraph:
+    """A path on the given labels — handy in tests and docs."""
+    labels = list(labels)
+    edges = [(i, i + 1, edge_label) for i in range(len(labels) - 1)]
+    return LabeledGraph(labels, edges)
+
+
+def cycle_graph(labels: Iterable[str], edge_label: str = DEFAULT_EDGE_LABEL) -> LabeledGraph:
+    """A cycle on the given labels (requires at least 3 vertices)."""
+    labels = list(labels)
+    if len(labels) < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % len(labels), edge_label) for i in range(len(labels))]
+    return LabeledGraph(labels, edges)
+
+
+def star_graph(
+    center_label: str,
+    leaf_labels: Iterable[str],
+    edge_label: str = DEFAULT_EDGE_LABEL,
+) -> LabeledGraph:
+    """A star with the given center and leaves."""
+    leaves = list(leaf_labels)
+    labels = [center_label] + leaves
+    edges = [(0, i + 1, edge_label) for i in range(len(leaves))]
+    return LabeledGraph(labels, edges)

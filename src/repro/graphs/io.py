@@ -1,0 +1,80 @@
+"""Serialization of graphs and databases.
+
+A :class:`~repro.graphs.database.GraphDatabase` round-trips through a simple
+JSON-lines format: the first line is a header with the feature dimensionality,
+then one JSON object per graph carrying labels, edges and the feature vector.
+The format is intentionally boring — greppable, diffable and stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import LabeledGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(g: LabeledGraph) -> dict:
+    """JSON-serializable dict for one graph (without features)."""
+    return {
+        "labels": list(g.node_labels),
+        "edges": [[u, v, label] for u, v, label in g.edges()],
+    }
+
+
+def graph_from_dict(data: dict, graph_id: int | None = None) -> LabeledGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    return LabeledGraph(
+        data["labels"],
+        [(u, v, label) for u, v, label in data["edges"]],
+        graph_id=graph_id,
+    )
+
+
+def save_database(database: GraphDatabase, path: str | Path) -> None:
+    """Write a database to ``path`` in JSON-lines format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "format": "repro-graphdb",
+            "version": FORMAT_VERSION,
+            "num_graphs": len(database),
+            "num_features": database.num_features,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for i, g in enumerate(database):
+            record = graph_to_dict(g)
+            record["features"] = [float(x) for x in database.feature_vector(i)]
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_database(path: str | Path) -> GraphDatabase:
+    """Read a database written by :func:`save_database`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != "repro-graphdb":
+            raise ValueError(f"{path} is not a repro graph database file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {header.get('version')} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        graphs: list[LabeledGraph] = []
+        features: list[list[float]] = []
+        for line in fh:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            graphs.append(graph_from_dict(record))
+            features.append(record["features"])
+    if len(graphs) != header["num_graphs"]:
+        raise ValueError(
+            f"{path} declares {header['num_graphs']} graphs but has {len(graphs)}"
+        )
+    return GraphDatabase(graphs, np.asarray(features, dtype=float))

@@ -1,0 +1,580 @@
+"""NB-Index: the paper's index structure and query engine (Secs. 6.4 and 7).
+
+An :class:`NBIndex` bundles the two offline components —
+
+* the **vantage embedding** (Vantage Orderings of every database graph
+  against a set of vantage points), and
+* the **NB-Tree** (hierarchical disjoint clustering with per-node centroid,
+  radius and diameter)
+
+— plus the **threshold ladder** at which π̂-vectors are evaluated.
+
+Query processing follows Section 7 exactly:
+
+1. *Initialization* (per relevance function, θ-independent): the relevant
+   set ``L_q`` is materialized and π̂ upper bounds are computed for the
+   relevant graphs from the vantage embedding (Theorem 5), at the indexed
+   threshold covering the query θ; bounds are propagated up the NB-Tree by
+   taking ceilings (Eq. 14).  A :class:`QuerySession` caches all of this so
+   interactive θ refinements skip straight to phase 2.
+2. *Search-and-update* (per θ, per k): a best-first lazy greedy.  The
+   search (Algorithm 2) explores the NB-Tree through a priority queue
+   ordered by marginal-gain upper bounds, computing exact θ-neighborhoods
+   (vantage candidates verified by real edit distances) only for graphs
+   that could beat the incumbent.  After each selection the update step
+   walks the tree, pruning subtrees beyond ``2θ`` (Theorem 6) and
+   batch-decrementing the bounds of clusters contained in the new
+   neighborhood (Theorems 7–8).
+
+Bound bookkeeping: each tree node carries a working upper bound ``W``;
+during the search a child's effective bound is ``min(W[child],
+effective(parent))``, so decrementing a cluster's root bound tightens every
+descendant without touching them — an O(1) batch update per cluster.
+Submodularity makes stale bounds safe: true marginal gains only shrink as
+the answer set grows, so an old bound is still an upper bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+import numpy as np
+
+from repro.core.results import QueryResult, QueryStats
+from repro.ged.metric import CachingDistance, CountingDistance, GraphDistanceFn
+from repro.graphs.database import GraphDatabase
+from repro.index.nbtree import NBTree, NBTreeNode
+from repro.index.pivec import ThresholdLadder, choose_thresholds
+from repro.index.vantage import VantageEmbedding, select_vantage_points
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require, require_positive
+
+_EPS = 1e-9
+_NEG_INF = float("-inf")
+
+
+class NBIndex:
+    """The NB-Index over a graph database.
+
+    Build once per database with :meth:`build`; run queries either directly
+    (:meth:`query`) or through a :class:`QuerySession` when the relevance
+    function is reused across θ refinements.
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        distance: GraphDistanceFn,
+        embedding: VantageEmbedding,
+        tree: NBTree,
+        ladder: ThresholdLadder,
+        counting: CountingDistance,
+        build_seconds: float,
+    ):
+        self.database = database
+        self.distance = distance
+        self.embedding = embedding
+        self.tree = tree
+        self.ladder = ladder
+        self._counting = counting
+        self.build_seconds = build_seconds
+        self._leaf_of: dict[int, NBTreeNode] = {
+            node.graph_index: node for node in tree.nodes if node.is_leaf
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: GraphDatabase,
+        distance: GraphDistanceFn,
+        num_vantage_points: int = 20,
+        branching: int = 8,
+        thresholds: ThresholdLadder | None = None,
+        rng=None,
+        vp_strategy: str = "random",
+        validate_metric: bool = False,
+    ) -> "NBIndex":
+        """Build the index: select VPs, embed the database, cluster it.
+
+        ``distance`` must be a metric (Sec. 6.1) — every pruning theorem
+        depends on the triangle inequality.  ``validate_metric=True`` spot
+        checks the axioms on sampled triples before building and raises on
+        violation; it costs a few dozen extra distance calls and is
+        recommended for user-supplied distances.  When ``thresholds`` is
+        omitted, a slope-proportional ladder is derived from sampled
+        pairwise distances (Sec. 7.1, scheme 2).
+        """
+        require_positive(num_vantage_points, "num_vantage_points")
+        require(len(database) > 0, "cannot index an empty database")
+        rng = ensure_rng(rng)
+        counting = CountingDistance(distance)
+        cached = CachingDistance(counting)
+        if validate_metric:
+            _spot_check_metric(database, cached, rng)
+
+        started = time.perf_counter()
+        vp_count = min(num_vantage_points, len(database))
+        vp_indices = select_vantage_points(
+            database.graphs, vp_count, rng=rng, strategy=vp_strategy,
+            distance=cached,
+        )
+        embedding = VantageEmbedding(database.graphs, vp_indices, cached)
+        if thresholds is None:
+            if len(database) < 2:
+                thresholds = ThresholdLadder([1.0])
+            else:
+                thresholds = choose_thresholds(
+                    database.graphs, cached, count=10,
+                    num_pairs=min(1000, len(database) * 4), rng=rng,
+                )
+        tree = NBTree(
+            database.graphs, cached, embedding, branching=branching, rng=rng
+        )
+        build_seconds = time.perf_counter() - started
+        return cls(
+            database, cached, embedding, tree, thresholds, counting,
+            build_seconds,
+        )
+
+    @property
+    def distance_calls(self) -> int:
+        """Distinct edit-distance evaluations since construction began."""
+        return self._counting.calls
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the index structures (Fig. 6(l)).
+
+        Counts the vantage-coordinate matrix and, per tree node, the member
+        id array plus the fixed scalar fields.
+        """
+        total = self.embedding.coords.nbytes
+        per_node_fixed = 8 * 6  # id, centroid, radius, diameter, parent refs
+        for node in self.tree.nodes:
+            total += node.members.nbytes + per_node_fixed
+        total += 8 * len(self.ladder)
+        return total
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def session(self, query_fn) -> "QuerySession":
+        """Start a session for a fixed relevance function ``q``.
+
+        The session performs the initialization phase once and amortizes it
+        over any number of (θ, k) queries — the paper's interactive
+        refinement mode.
+        """
+        return QuerySession(self, query_fn)
+
+    def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
+        """One-shot top-k representative query (fresh session)."""
+        return self.session(query_fn).query(theta, k, **kwargs)
+
+    def set_ladder(self, ladder: ThresholdLadder) -> None:
+        """Swap the π̂ threshold ladder.
+
+        The ladder is consulted only at query-session initialization (the
+        tree and embedding are ladder-independent), so re-laddering an
+        existing index — e.g. after a query log accumulates, Sec. 7.1
+        scheme 1 — is free.  Open sessions keep their old ladder.
+        """
+        require(len(ladder) >= 1, "ladder must be non-empty")
+        self.ladder = ladder
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def insert(self, graph, feature_row) -> int:
+        """Add one graph to the database and the index; returns its id.
+
+        The new graph is embedded against the vantage points, then routed
+        down the NB-Tree to the closest-centroid cluster at each level and
+        attached as a new leaf.  Cluster radii and diameters are *expanded
+        conservatively* (``radius ← max(radius, d)``,
+        ``diameter ← max(diameter, d + old_radius)``), which keeps every
+        Theorem 6–8 bound valid; tree balance may degrade under heavy
+        insertion, in which case rebuild.  Open sessions are invalidated —
+        start a new session after inserting.
+        """
+        from repro.index.nbtree import NBTreeNode
+
+        new_id = self.database.append(graph, feature_row)
+        graph = self.database[new_id]
+        self.embedding.append_graph(graph)
+
+        tree = self.tree
+        if tree.root.is_leaf:
+            # Single-graph tree: grow an internal root above the old leaf.
+            old_leaf = tree.root
+            new_root = NBTreeNode(
+                node_id=len(tree.nodes),
+                centroid=old_leaf.graph_index,
+                radius=0.0,
+                diameter=0.0,
+                members=old_leaf.members.copy(),
+                children=[old_leaf],
+            )
+            tree.nodes.append(new_root)
+            tree.root = new_root
+        node = tree.root
+        while True:
+            node.members = np.sort(np.append(node.members, new_id))
+            internal_children = [c for c in node.children if not c.is_leaf]
+            distance_to_centroid = self.distance(
+                graph, self.database[node.centroid]
+            )
+            node.radius = max(node.radius, distance_to_centroid)
+            node.diameter = max(
+                node.diameter, distance_to_centroid + node.radius
+            )
+            if not internal_children:
+                break
+            node = min(
+                internal_children,
+                key=lambda c: self.distance(graph, self.database[c.centroid]),
+            )
+
+        leaf = NBTreeNode(
+            node_id=len(tree.nodes),
+            centroid=new_id,
+            radius=0.0,
+            diameter=0.0,
+            members=np.array([new_id]),
+            graph_index=new_id,
+        )
+        tree.nodes.append(leaf)
+        node.children.append(leaf)
+        self._leaf_of[new_id] = leaf
+        return new_id
+
+    def __repr__(self) -> str:
+        return (
+            f"<NBIndex n={len(self.database)} "
+            f"|V|={self.embedding.num_vantage_points} "
+            f"b={self.tree.branching} nodes={self.tree.num_nodes}>"
+        )
+
+
+def _spot_check_metric(database, distance, rng, num_triples: int = 25) -> None:
+    """Sample triples and verify the metric axioms; raise on violation."""
+    n = len(database)
+    for _ in range(num_triples):
+        a, b, c = (int(rng.integers(n)) for _ in range(3))
+        d_ab = distance(database[a], database[b])
+        d_ba = distance(database[b], database[a])
+        if abs(d_ab - d_ba) > _EPS:
+            raise ValueError(
+                f"distance is not symmetric: d(g{a}, g{b})={d_ab} but "
+                f"d(g{b}, g{a})={d_ba}"
+            )
+        if a == b and d_ab > _EPS:
+            raise ValueError(f"d(g{a}, g{a}) = {d_ab} != 0")
+        if d_ab < -_EPS:
+            raise ValueError(f"negative distance d(g{a}, g{b}) = {d_ab}")
+        d_ac = distance(database[a], database[c])
+        d_cb = distance(database[c], database[b])
+        if d_ab > d_ac + d_cb + _EPS:
+            raise ValueError(
+                "triangle inequality violated on sampled triple "
+                f"(g{a}, g{c}, g{b}): {d_ab} > {d_ac} + {d_cb}; "
+                "the NB-Index requires a metric distance"
+            )
+
+
+class QuerySession:
+    """Per-relevance-function query state (initialization phase product).
+
+    Holds the relevant set, per-node relevant member sets, lazily computed
+    π̂ columns per indexed threshold, and the shared exact-distance cache —
+    everything that survives a θ refinement.
+    """
+
+    def __init__(self, index: NBIndex, query_fn):
+        self.index = index
+        self.query_fn = query_fn
+        started = time.perf_counter()
+        self.relevant = index.database.relevant_indices(query_fn)
+        self.relevant_set = frozenset(int(i) for i in self.relevant)
+        self._position = {int(g): p for p, g in enumerate(self.relevant)}
+        self._node_relevant: dict[int, frozenset[int]] = {}
+        self._collect_relevant(index.tree.root)
+        self._pi_hat_columns: dict[int | None, np.ndarray] = {}
+        self.init_seconds = time.perf_counter() - started
+
+    # -- initialization ------------------------------------------------
+    def _collect_relevant(self, node: NBTreeNode) -> frozenset[int]:
+        if node.is_leaf:
+            members = (
+                frozenset([node.graph_index])
+                if node.graph_index in self.relevant_set
+                else frozenset()
+            )
+        else:
+            members = frozenset().union(
+                *(self._collect_relevant(child) for child in node.children)
+            )
+        self._node_relevant[node.node_id] = members
+        return members
+
+    def relevant_in(self, node: NBTreeNode) -> frozenset[int]:
+        """Relevant database graphs in the subtree of ``node``."""
+        return self._node_relevant[node.node_id]
+
+    def pi_hat_column(self, ladder_index: int | None) -> np.ndarray:
+        """π̂ counts (|N̂| over L_q) for every relevant graph at one indexed
+        threshold; the trivial bound |L_q| when θ exceeds the ladder."""
+        column = self._pi_hat_columns.get(ladder_index)
+        if column is None:
+            if ladder_index is None:
+                column = np.full(self.relevant.size, self.relevant.size)
+            else:
+                theta_i = self.index.ladder[ladder_index]
+                column = self.index.embedding.candidate_counts(
+                    self.relevant, [theta_i], self.relevant
+                )[:, 0]
+            self._pi_hat_columns[ladder_index] = column
+        return column
+
+    # -- the top-k query -----------------------------------------------
+    def query(
+        self,
+        theta: float,
+        k: int,
+        stop_on_zero_gain: bool = False,
+        enable_updates: bool = True,
+    ) -> QueryResult:
+        """Run the search-and-update phase for (θ, k).
+
+        ``stop_on_zero_gain=True`` ends the query once no remaining graph
+        adds coverage (the answer may then be smaller than k); the default
+        mirrors Algorithm 1, which always performs k iterations.
+        ``enable_updates=False`` disables the Theorem 6–8 update step (the
+        search then relies on submodular staleness alone) — an ablation
+        hook; results are identical, only the work profile changes.
+        """
+        require_positive(theta, "theta")
+        require_positive(k, "k")
+        index = self.index
+        stats = QueryStats(init_seconds=self.init_seconds)
+        calls_before = index.distance_calls
+
+        started = time.perf_counter()
+        ladder_index = index.ladder.index_for(theta)
+        column = self.pi_hat_column(ladder_index)
+        bounds = self._initial_bounds(column)
+        stats.init_seconds += time.perf_counter() - started
+
+        covered: set[int] = set()
+        answer: list[int] = []
+        gains: list[int] = []
+        neighborhoods: dict[int, frozenset[int]] = {}
+
+        for _ in range(min(k, self.relevant.size)):
+            search_started = time.perf_counter()
+            best, best_gain = self._search(
+                theta, bounds, covered, neighborhoods, stats
+            )
+            stats.search_seconds += time.perf_counter() - search_started
+            if best is None:
+                break
+            newly = neighborhoods[best] - covered
+            if not newly and stop_on_zero_gain:
+                break
+            answer.append(best)
+            gains.append(len(newly))
+            covered |= newly
+            bounds[index._leaf_of[best].node_id] = _NEG_INF
+            update_started = time.perf_counter()
+            if newly and enable_updates:
+                self._update(
+                    index.tree.root, best, newly, theta, bounds,
+                    covered, neighborhoods, stats,
+                )
+            stats.update_seconds += time.perf_counter() - update_started
+
+        stats.distance_calls = index.distance_calls - calls_before
+        return QueryResult(
+            answer=answer,
+            gains=gains,
+            covered=frozenset(covered),
+            num_relevant=int(self.relevant.size),
+            theta=theta,
+            stats=stats,
+        )
+
+    # -- internals -------------------------------------------------------
+    def _initial_bounds(self, column: np.ndarray) -> np.ndarray:
+        """Per-node working bounds W: π̂ at leaves, child ceilings above."""
+        bounds = np.full(self.index.tree.num_nodes, _NEG_INF)
+
+        def fill(node: NBTreeNode) -> float:
+            if node.is_leaf:
+                position = self._position.get(node.graph_index)
+                value = float(column[position]) if position is not None else _NEG_INF
+            else:
+                value = max(
+                    (fill(child) for child in node.children), default=_NEG_INF
+                )
+            bounds[node.node_id] = value
+            return value
+
+        fill(self.index.tree.root)
+        return bounds
+
+    def _exact_neighborhood(
+        self,
+        gid: int,
+        theta: float,
+        neighborhoods: dict[int, frozenset[int]],
+        stats: QueryStats,
+    ) -> frozenset[int]:
+        """``N_θ(g)`` over L_q: vantage candidates verified by edit distance."""
+        cached = neighborhoods.get(gid)
+        if cached is not None:
+            return cached
+        index = self.index
+        candidates = index.embedding.candidates(gid, theta + _EPS, self.relevant)
+        graph = index.database[gid]
+        verified = set()
+        for c in candidates:
+            c = int(c)
+            if c == gid:
+                verified.add(c)
+                continue
+            stats.candidate_verifications += 1
+            if index.distance(graph, index.database[c]) <= theta + _EPS:
+                verified.add(c)
+        result = frozenset(verified)
+        neighborhoods[gid] = result
+        stats.exact_neighborhoods += 1
+        return result
+
+    def _search(
+        self,
+        theta: float,
+        bounds: np.ndarray,
+        covered: set[int],
+        neighborhoods: dict[int, frozenset[int]],
+        stats: QueryStats,
+    ) -> tuple[int | None, float]:
+        """Algorithm 2: best-first search for the next greedy selection."""
+        index = self.index
+        root = index.tree.root
+        counter = itertools.count()
+        root_bound = bounds[root.node_id]
+        if root_bound == _NEG_INF:
+            return None, 0.0
+        heap: list[tuple[float, int, float, NBTreeNode]] = [
+            (-root_bound, next(counter), root_bound, root)
+        ]
+        best: int | None = None
+        best_gain = -1.0
+
+        while heap:
+            _, _, pushed_bound, node = heapq.heappop(heap)
+            stats.nodes_popped += 1
+            # Heap entries are ordered by their bound at push time, which is
+            # a valid upper bound on every gain in the subtree.  Once the
+            # top of the heap cannot beat the incumbent, nothing below can
+            # (lines 6-7 of Algorithm 2).
+            if best is not None and pushed_bound <= best_gain:
+                break
+            # The node's own bound may have been tightened by an update
+            # since it was pushed; a stale entry is skipped, not terminal.
+            current = min(pushed_bound, float(bounds[node.node_id]))
+            if best is not None and current <= best_gain:
+                continue
+            if node.is_leaf:
+                gid = node.graph_index
+                if gid is None or bounds[node.node_id] == _NEG_INF:
+                    continue
+                neighborhood = self._exact_neighborhood(
+                    gid, theta, neighborhoods, stats
+                )
+                gain = float(len(neighborhood - covered))
+                bounds[node.node_id] = gain
+                stats.leaves_evaluated += 1
+                if gain > best_gain:
+                    best_gain = gain
+                    best = gid
+            else:
+                for child in node.children:
+                    if not self._node_relevant[child.node_id]:
+                        continue
+                    child_bound = min(float(bounds[child.node_id]), current)
+                    if child_bound == _NEG_INF:
+                        continue
+                    if best is None or child_bound > best_gain:
+                        heapq.heappush(
+                            heap,
+                            (-child_bound, next(counter), child_bound, child),
+                        )
+        return best, best_gain
+
+    def _update(
+        self,
+        node: NBTreeNode,
+        selected: int,
+        newly: set[int] | frozenset[int],
+        theta: float,
+        bounds: np.ndarray,
+        covered: set[int],
+        neighborhoods: dict[int, frozenset[int]],
+        stats: QueryStats,
+    ) -> None:
+        """Theorems 6–8: batch-tighten bounds after adding ``selected``.
+
+        One centroid distance per visited node; subtrees provably outside
+        the ``2θ`` influence ball are skipped (Theorem 6); clusters fully
+        inside the new neighborhood with diameter ≤ θ get a single
+        decrement (Theorem 7), with the recursion realizing Theorem 8 for
+        partially overlapping parents.  Leaves with a cached exact
+        neighborhood are refreshed to their exact residual gain.
+        """
+        if bounds[node.node_id] == _NEG_INF:
+            return
+        index = self.index
+        centroid_distance = index.distance(
+            index.database[selected], index.database[node.centroid]
+        )
+        if centroid_distance - node.radius > 2.0 * theta + _EPS:
+            return  # Theorem 6: no member's neighborhood changed.
+        if node.is_leaf:
+            gid = node.graph_index
+            cached = neighborhoods.get(gid)
+            if cached is not None:
+                bounds[node.node_id] = float(len(cached - covered))
+            elif centroid_distance <= theta + _EPS and gid in newly:
+                # The leaf itself is newly covered: its own neighborhood
+                # contains it, so its gain shrinks by at least one.
+                bounds[node.node_id] = max(0.0, bounds[node.node_id] - 1.0)
+            return
+        if (
+            node.diameter <= theta + _EPS
+            and centroid_distance + node.radius <= theta + _EPS
+        ):
+            # Theorem 7 (exact-coverage form): the cluster is inside
+            # N(selected) and every member's neighborhood contains the
+            # cluster, so each loses the newly covered relevant members.
+            decrement = len(self._node_relevant[node.node_id] & newly)
+            if decrement:
+                bounds[node.node_id] = max(
+                    0.0, bounds[node.node_id] - float(decrement)
+                )
+            return
+        for child in node.children:
+            self._update(
+                child, selected, newly, theta, bounds, covered,
+                neighborhoods, stats,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuerySession relevant={self.relevant.size} "
+            f"of {len(self.index.database)}>"
+        )

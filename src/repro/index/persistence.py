@@ -1,0 +1,163 @@
+"""NB-Index persistence: save/load the offline structures.
+
+An index is expensive to build (it is *the* offline investment the paper's
+query speed rests on), so a production deployment wants it on disk.  The
+format is a single compressed ``.npz``: vantage coordinates, the flattened
+NB-Tree (per-node scalars + parent pointers; members are reconstructed
+from the leaf structure), the threshold ladder, and a database fingerprint
+so loading against the wrong database fails loudly instead of answering
+garbage.
+
+The database itself is *not* stored — graphs live in the caller's own
+storage (see :mod:`repro.graphs.io`); the index references them by id.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.ged.metric import CachingDistance, CountingDistance, GraphDistanceFn
+from repro.graphs.database import GraphDatabase
+from repro.index.nbindex import NBIndex
+from repro.index.nbtree import NBTree, NBTreeNode
+from repro.index.pivec import ThresholdLadder
+from repro.index.vantage import VantageEmbedding
+from repro.utils.validation import require
+
+FORMAT_VERSION = 1
+
+
+def database_fingerprint(database: GraphDatabase) -> np.ndarray:
+    """Stable per-graph digests (crc32 of the canonical form).
+
+    Used to verify at load time that the index belongs to the database it
+    is being attached to.
+    """
+    return np.array(
+        [zlib.crc32(repr(g.canonical_form()).encode()) for g in database],
+        dtype=np.uint32,
+    )
+
+
+def save_index(index: NBIndex, path: str | Path) -> None:
+    """Write the index's offline structures to ``path`` (.npz)."""
+    nodes = index.tree.nodes
+    parent = np.full(len(nodes), -1, dtype=np.int64)
+    for node in nodes:
+        for child in node.children:
+            parent[child.node_id] = node.node_id
+    np.savez_compressed(
+        Path(path),
+        format_version=np.array([FORMAT_VERSION]),
+        coords=index.embedding.coords,
+        vantage_indices=np.array(index.embedding.vantage_indices, dtype=np.int64),
+        ladder=np.array(list(index.ladder.values)),
+        node_centroid=np.array([n.centroid for n in nodes], dtype=np.int64),
+        node_radius=np.array([n.radius for n in nodes]),
+        node_diameter=np.array([n.diameter for n in nodes]),
+        node_graph_index=np.array(
+            [-1 if n.graph_index is None else n.graph_index for n in nodes],
+            dtype=np.int64,
+        ),
+        node_parent=parent,
+        root_id=np.array([index.tree.root.node_id], dtype=np.int64),
+        branching=np.array([index.tree.branching], dtype=np.int64),
+        fingerprint=database_fingerprint(index.database),
+        build_seconds=np.array([index.build_seconds]),
+    )
+
+
+def load_index(
+    path: str | Path,
+    database: GraphDatabase,
+    distance: GraphDistanceFn,
+) -> NBIndex:
+    """Load an index saved by :func:`save_index` against its database.
+
+    ``distance`` must be the same metric the index was built with (the
+    stored coordinates and radii are only meaningful for it); the database
+    is verified by fingerprint.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"][0])
+        require(
+            version == FORMAT_VERSION,
+            f"unsupported index format version {version}",
+        )
+        stored = data["fingerprint"]
+        current = database_fingerprint(database)
+        require(
+            stored.shape == current.shape and bool((stored == current).all()),
+            "index fingerprint does not match the provided database",
+        )
+
+        counting = CountingDistance(distance)
+        cached = CachingDistance(counting)
+
+        embedding = VantageEmbedding.__new__(VantageEmbedding)
+        embedding._graphs = database.graphs
+        embedding._distance = cached
+        embedding.vantage_indices = [int(i) for i in data["vantage_indices"]]
+        embedding.coords = data["coords"].copy()
+        embedding._order0 = np.argsort(embedding.coords[:, 0], kind="stable")
+        embedding._sorted0 = embedding.coords[embedding._order0, 0]
+
+        centroids = data["node_centroid"]
+        radii = data["node_radius"]
+        diameters = data["node_diameter"]
+        graph_indices = data["node_graph_index"]
+        parents = data["node_parent"]
+        num_nodes = centroids.shape[0]
+
+        nodes = [
+            NBTreeNode(
+                node_id=i,
+                centroid=int(centroids[i]),
+                radius=float(radii[i]),
+                diameter=float(diameters[i]),
+                members=np.empty(0, dtype=np.int64),
+                graph_index=(
+                    None if graph_indices[i] < 0 else int(graph_indices[i])
+                ),
+            )
+            for i in range(num_nodes)
+        ]
+        for i in range(num_nodes):
+            p = int(parents[i])
+            if p >= 0:
+                nodes[p].children.append(nodes[i])
+        root = nodes[int(data["root_id"][0])]
+
+        _rebuild_members(root)
+
+        tree = NBTree.__new__(NBTree)
+        tree._graphs = database.graphs
+        tree._distance = cached
+        tree._embedding = embedding
+        tree.branching = int(data["branching"][0])
+        tree.nodes = nodes
+        tree.root = root
+        from repro.index.nbtree import BuildStats
+
+        tree.stats = BuildStats()
+
+        ladder = ThresholdLadder(float(v) for v in data["ladder"])
+        build_seconds = float(data["build_seconds"][0])
+
+    return NBIndex(
+        database, cached, embedding, tree, ladder, counting, build_seconds
+    )
+
+
+def _rebuild_members(node: NBTreeNode) -> np.ndarray:
+    """Recompute member arrays bottom-up from the leaf structure."""
+    if node.is_leaf:
+        node.members = np.array([node.graph_index], dtype=np.int64)
+    else:
+        node.members = np.sort(
+            np.concatenate([_rebuild_members(c) for c in node.children])
+        )
+    return node.members

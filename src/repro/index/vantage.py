@@ -1,0 +1,206 @@
+"""Vantage points and vantage orderings (Sec. 6.2 of the paper).
+
+A vantage point ``v`` Lipschitz-embeds the metric space into one dimension:
+graph ``g`` becomes the scalar ``d(v, g)``.  With a set of vantage points
+``V`` the embedding is ``|V|``-dimensional, and the *vantage distance*
+
+``d_V(g, g') = max_{v ∈ V} | d(v, g) − d(v, g') |``
+
+is a lower bound on the true distance (Theorem 4: triangle inequality).
+Hence the Chebyshev ball of radius θ around ``g`` in the embedded space —
+computed with pure array arithmetic, no edit distances — is a superset
+``N̂_θ(g) ⊇ N_θ(g)`` of the true θ-neighborhood (Theorem 5).  Expensive
+edit distances are then needed only to verify the candidates.
+
+:class:`VantageEmbedding` holds the precomputed ``(n, |V|)`` coordinate
+matrix — the paper's Vantage Orderings, stored column-sorted so candidate
+generation can seed from a binary-searched window on the first vantage
+point before refining with the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ged.metric import GraphDistanceFn
+from repro.graphs.graph import LabeledGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+def select_vantage_points(
+    graphs: Sequence[LabeledGraph],
+    count: int,
+    rng=None,
+    strategy: str = "random",
+    distance: GraphDistanceFn | None = None,
+) -> list[int]:
+    """Choose ``count`` vantage-point indices from ``graphs``.
+
+    ``strategy='random'`` is the paper's choice (Def. 3 selects VPs
+    randomly; the FPR analysis of Sec. 6.2.1 assumes it).
+    ``strategy='maxmin'`` is the classic farthest-first alternative offered
+    for the ablation benchmarks; it needs ``distance``.
+    """
+    require(0 < count <= len(graphs), f"count {count} not in 1..{len(graphs)}")
+    rng = ensure_rng(rng)
+    if strategy == "random":
+        chosen = rng.choice(len(graphs), size=count, replace=False)
+        return sorted(int(i) for i in chosen)
+    if strategy == "maxmin":
+        require(distance is not None, "maxmin strategy requires a distance")
+        first = int(rng.integers(len(graphs)))
+        chosen_list = [first]
+        min_dist = np.array(
+            [distance(graphs[first], g) for g in graphs], dtype=float
+        )
+        while len(chosen_list) < count:
+            nxt = int(np.argmax(min_dist))
+            chosen_list.append(nxt)
+            dist_next = np.array(
+                [distance(graphs[nxt], g) for g in graphs], dtype=float
+            )
+            np.minimum(min_dist, dist_next, out=min_dist)
+        return sorted(chosen_list)
+    raise ValueError(f"unknown strategy {strategy!r}; use 'random' or 'maxmin'")
+
+
+class VantageEmbedding:
+    """Precomputed vantage orderings over a graph collection.
+
+    Parameters
+    ----------
+    graphs:
+        The database graphs, in id order.
+    vantage_indices:
+        Indices of the chosen vantage points within ``graphs``.
+    distance:
+        The underlying metric; called ``|V| · n`` times at construction.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[LabeledGraph],
+        vantage_indices: Sequence[int],
+        distance: GraphDistanceFn,
+    ):
+        require(len(vantage_indices) > 0, "at least one vantage point required")
+        self._graphs = graphs
+        self._distance = distance
+        self.vantage_indices = list(int(i) for i in vantage_indices)
+        coords = np.empty((len(graphs), len(self.vantage_indices)))
+        for j, vp in enumerate(self.vantage_indices):
+            vantage_graph = graphs[vp]
+            coords[:, j] = [distance(vantage_graph, g) for g in graphs]
+        self.coords = coords
+        # Vantage Orderings proper: per-VP sort of the database.  Only the
+        # first ordering is used to seed candidate windows; the remaining
+        # columns refine via vectorized Chebyshev checks.
+        self._order0 = np.argsort(coords[:, 0], kind="stable")
+        self._sorted0 = coords[self._order0, 0]
+
+    @property
+    def num_vantage_points(self) -> int:
+        return self.coords.shape[1]
+
+    def __len__(self) -> int:
+        return self.coords.shape[0]
+
+    # ------------------------------------------------------------------
+    # Embedding external graphs (NB-Tree pivots, ad-hoc queries)
+    # ------------------------------------------------------------------
+    def embed(self, g: LabeledGraph) -> np.ndarray:
+        """Vantage coordinates of an arbitrary graph (``|V|`` distances)."""
+        return np.array(
+            [self._distance(self._graphs[vp], g) for vp in self.vantage_indices]
+        )
+
+    # ------------------------------------------------------------------
+    # Bounds (Theorem 4 and its dual)
+    # ------------------------------------------------------------------
+    def lower_bound(self, i: int, j: int) -> float:
+        """Vantage distance ``d_V`` — a lower bound on ``d(g_i, g_j)``."""
+        return float(np.max(np.abs(self.coords[i] - self.coords[j])))
+
+    def upper_bound(self, i: int, j: int) -> float:
+        """``min_v d(v, g_i) + d(v, g_j)`` — an upper bound on ``d(g_i, g_j)``."""
+        return float(np.min(self.coords[i] + self.coords[j]))
+
+    def lower_bounds_to(self, coords_g: np.ndarray, among: np.ndarray) -> np.ndarray:
+        """Vantage distances from a coordinate vector to many graphs at once."""
+        return np.max(np.abs(self.coords[among] - coords_g), axis=1)
+
+    def upper_bounds_to(self, coords_g: np.ndarray, among: np.ndarray) -> np.ndarray:
+        """Vantage upper bounds from a coordinate vector to many graphs."""
+        return np.min(self.coords[among] + coords_g, axis=1)
+
+    # ------------------------------------------------------------------
+    # Candidate generation (Theorem 5)
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        i: int,
+        theta: float,
+        among: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``N̂_θ(g_i)``: ids whose vantage distance to ``g_i`` is ≤ θ.
+
+        Guaranteed superset of the true θ-neighborhood restricted to
+        ``among`` (all ids when omitted).  Uses the sorted first vantage
+        ordering to narrow the scan window, then refines with the remaining
+        vantage points in one vectorized pass.
+        """
+        if among is None:
+            lo = np.searchsorted(self._sorted0, self.coords[i, 0] - theta, "left")
+            hi = np.searchsorted(self._sorted0, self.coords[i, 0] + theta, "right")
+            window = self._order0[lo:hi]
+        else:
+            among = np.asarray(among)
+            mask0 = np.abs(self.coords[among, 0] - self.coords[i, 0]) <= theta
+            window = among[mask0]
+        if window.size == 0:
+            return window
+        cheb = np.max(np.abs(self.coords[window] - self.coords[i]), axis=1)
+        return window[cheb <= theta]
+
+    def candidate_counts(
+        self,
+        rows: np.ndarray,
+        thetas: Sequence[float],
+        among: np.ndarray,
+    ) -> np.ndarray:
+        """Candidate-set sizes for many graphs at many thresholds at once.
+
+        Returns an ``(len(rows), len(thetas))`` integer array where entry
+        ``[r, t]`` is ``|N̂_{θ_t}(g_rows[r]) ∩ among|`` — the raw material of
+        the π̂-vectors (Def. 6).  One Chebyshev pass per row serves every
+        threshold.
+        """
+        rows = np.asarray(rows)
+        among = np.asarray(among)
+        thetas_arr = np.asarray(list(thetas), dtype=float)
+        counts = np.empty((rows.size, thetas_arr.size), dtype=np.int64)
+        coords_among = self.coords[among]
+        for r, i in enumerate(rows):
+            cheb = np.max(np.abs(coords_among - self.coords[i]), axis=1)
+            # One sort of the Chebyshev distances answers all thresholds.
+            cheb.sort()
+            counts[r] = np.searchsorted(cheb, thetas_arr, side="right")
+        return counts
+
+    def append_graph(self, g: LabeledGraph) -> int:
+        """Embed one more graph (``|V|`` distances) and add it to the
+        orderings; returns its row index.  Supports incremental inserts."""
+        row = self.embed(g)
+        self.coords = np.vstack([self.coords, row])
+        self._order0 = np.argsort(self.coords[:, 0], kind="stable")
+        self._sorted0 = self.coords[self._order0, 0]
+        return self.coords.shape[0] - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<VantageEmbedding n={len(self)} "
+            f"|V|={self.num_vantage_points}>"
+        )

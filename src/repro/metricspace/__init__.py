@@ -1,0 +1,11 @@
+"""Representative queries over arbitrary metric spaces (not just graphs)."""
+
+from repro.metricspace.generic import PayloadDistance, metric_space_database
+from repro.metricspace.vectors import MinkowskiMetric, vector_database
+
+__all__ = [
+    "metric_space_database",
+    "PayloadDistance",
+    "vector_database",
+    "MinkowskiMetric",
+]

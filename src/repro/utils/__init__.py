@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG handling, timing, validation."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "Stopwatch",
+    "timed",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+]

@@ -1,0 +1,73 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+``perf_counter`` based, so the numbers are monotonic and high resolution.
+These helpers deliberately stay tiny: the benchmark harness composes them
+into parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Supports repeated start/stop cycles and reports the total elapsed time,
+    which is what the per-phase instrumentation in the query engine needs
+    (e.g. total time spent in edit-distance calls across a whole query).
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @contextmanager
+    def measure(self):
+        """Context manager form: ``with sw.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@contextmanager
+def timed():
+    """Measure a block; read ``.elapsed`` on the yielded stopwatch afterwards.
+
+    >>> with timed() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+    sw = Stopwatch()
+    sw.start()
+    try:
+        yield sw
+    finally:
+        if sw.running:
+            sw.stop()

@@ -1,0 +1,32 @@
+"""Argument validation helpers.
+
+The public API validates user input eagerly and raises ``ValueError`` with a
+message naming the offending parameter, per the project style of failing
+loudly at the boundary instead of deep inside a search loop.
+"""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,103 @@
+"""ASCII chart rendering for figure-type experiment results."""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_chart
+from repro.bench.harness import ExperimentResult
+from repro.bench.printers import chart_for, print_and_save
+
+
+def _series_result(name="fig_test"):
+    rows = [
+        {"x": 1.0, "fast_s": 0.01, "slow_s": 1.0},
+        {"x": 2.0, "fast_s": 0.02, "slow_s": 3.0},
+        {"x": 3.0, "fast_s": 0.05, "slow_s": 9.0},
+    ]
+    return ExperimentResult(name=name, columns=["x", "fast_s", "slow_s"],
+                            rows=rows)
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart(_series_result(), "x", ["fast_s", "slow_s"])
+        assert "o=fast_s" in chart
+        assert "x=slow_s" in chart
+        assert "x: 1 .. 3" in chart
+        assert "o" in chart and "+" not in chart.split("\n")[0]
+
+    def test_log_scale_notes_itself(self):
+        chart = ascii_chart(_series_result(), "x", ["slow_s"], log_y=True)
+        assert "(log y)" in chart
+
+    def test_orders_of_magnitude_separate_on_log_scale(self):
+        chart = ascii_chart(
+            _series_result(), "x", ["fast_s", "slow_s"], log_y=True, height=10
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # fast series sits in the lower half, slow in the upper half.
+        top = "".join(lines[: len(lines) // 2])
+        bottom = "".join(lines[len(lines) // 2:])
+        assert "x" in top
+        assert "o" in bottom
+
+    def test_missing_values_skipped(self):
+        result = ExperimentResult(
+            "fig_x", ["x", "y"],
+            [{"x": 1.0, "y": 2.0}, {"x": 2.0, "y": None}],
+        )
+        chart = ascii_chart(result, "x", ["y"])
+        assert "y" in chart
+
+    def test_no_points_rejected(self):
+        result = ExperimentResult("fig_x", ["x", "y"], [{"x": None, "y": None}])
+        with pytest.raises(ValueError):
+            ascii_chart(result, "x", ["y"])
+
+    def test_title(self):
+        chart = ascii_chart(_series_result(), "x", ["fast_s"], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_constant_series_does_not_crash(self):
+        result = ExperimentResult(
+            "fig_flat", ["x", "y"],
+            [{"x": 1.0, "y": 5.0}, {"x": 2.0, "y": 5.0}],
+        )
+        assert "o=y" in ascii_chart(result, "x", ["y"])
+
+
+class TestChartRegistry:
+    def test_registered_experiment_gets_chart(self):
+        rows = [
+            {"size": 100, "nbindex_s": 0.01, "ctree_greedy_s": 0.1,
+             "disc_s": 0.05, "div_s": 0.1},
+            {"size": 200, "nbindex_s": 0.03, "ctree_greedy_s": 0.5,
+             "disc_s": 0.2, "div_s": 0.4},
+        ]
+        result = ExperimentResult(
+            "fig6bd_time_vs_size_dud",
+            ["size", "nbindex_s", "ctree_greedy_s", "disc_s", "div_s"],
+            rows,
+        )
+        chart = chart_for(result)
+        assert chart is not None
+        assert "nbindex_s" in chart
+
+    def test_unregistered_experiment_has_no_chart(self):
+        assert chart_for(ExperimentResult("custom_thing", ["a"], [{"a": 1}])) is None
+
+    def test_print_and_save_embeds_chart(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        rows = [
+            {"relevant": 10, "answer_size": 4, "compression_ratio": 2.0},
+            {"relevant": 30, "answer_size": 11, "compression_ratio": 2.5},
+        ]
+        result = ExperimentResult(
+            "fig2a_disc_growth_dud",
+            ["relevant", "answer_size", "compression_ratio"],
+            rows,
+        )
+        text = print_and_save(result)
+        assert "o=answer_size" in text
+        assert (tmp_path / "fig2a_disc_growth_dud.txt").read_text() == text

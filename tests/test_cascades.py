@@ -1,0 +1,79 @@
+"""Cascade dataset (Table 1, Example 2): structure, imbalance, and the
+representative-vs-traditional community-coverage contrast."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines import traditional_top_k
+from repro.core import baseline_greedy
+from repro.datasets import calibrate_theta, cascades_like, load
+from repro.datasets.cascades import NUM_TOPICS, origin_community, topic_query
+from repro.ged import StarDistance
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = cascades_like(num_graphs=30, seed=5)
+        b = cascades_like(num_graphs=30, seed=5)
+        assert np.allclose(a.features, b.features)
+        assert all(g1 == g2 for g1, g2 in zip(a, b))
+
+    def test_cascades_are_trees(self):
+        db = cascades_like(num_graphs=40, seed=1)
+        for g in db:
+            assert g.num_edges == g.num_nodes - 1
+
+    def test_topic_vectors_binary_nonempty(self):
+        db = cascades_like(num_graphs=40, seed=2)
+        feats = db.features
+        assert set(np.unique(feats)) <= {0.0, 1.0}
+        assert (feats.sum(axis=1) >= 1).all()
+
+    def test_populous_community_dominates(self):
+        db = cascades_like(num_graphs=300, seed=3)
+        origins = Counter(origin_community(g) for g in db)
+        assert origins.most_common(1)[0][0] == "u0"
+        assert origins["u0"] > len(db) / 4
+
+    def test_registry_load(self):
+        spec = load("cascades", StarDistance(), num_graphs=40, seed=4)
+        assert spec.theta > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cascades_like(num_graphs=0)
+        with pytest.raises(ValueError):
+            cascades_like(num_graphs=5, num_communities=1)
+
+
+class TestTopicQuery:
+    def test_jaccard_semantics(self):
+        q = topic_query([0, 1], threshold=0.5)
+        row = np.zeros(NUM_TOPICS)
+        row[[0, 1]] = 1.0
+        assert q(row)
+        row2 = np.zeros(NUM_TOPICS)
+        row2[[5]] = 1.0
+        assert not q(row2)
+
+    def test_selects_a_strict_subset(self):
+        db = cascades_like(num_graphs=200, seed=6)
+        q = topic_query([0, 2], threshold=0.3)
+        relevant = db.relevant_indices(q)
+        assert 0 < len(relevant) < len(db)
+
+
+class TestCommunityCoverage:
+    def test_rep_spans_at_least_as_many_communities_as_topk(self):
+        db = cascades_like(num_graphs=300, seed=17)
+        dist = StarDistance()
+        theta = calibrate_theta(db, dist, quantile=0.05, rng=17)
+        q = topic_query([0, 2, 4, 6], threshold=0.2)
+        k = 6
+        top = traditional_top_k(db, q, k)
+        rep = baseline_greedy(db, dist, q, theta, k)
+        top_communities = {origin_community(db[g]) for g in top}
+        rep_communities = {origin_community(db[g]) for g in rep.answer}
+        assert len(rep_communities) >= len(top_communities)

@@ -1,0 +1,154 @@
+"""CLI end-to-end: generate → stats → build-index → query → experiment."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    path = tmp_path / "db.jsonl"
+    code = main([
+        "generate", "dud", "--num-graphs", "60", "--seed", "3",
+        "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "fresh.jsonl"
+        assert main([
+            "generate", "dud", "--num-graphs", "30", "--seed", "1",
+            "--output", str(path),
+        ]) == 0
+        assert path.exists()
+        assert "30 graphs" in capsys.readouterr().out
+
+    def test_stats(self, db_path, capsys):
+        assert main(["stats", str(db_path), "--num-pairs", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "graphs:   60" in out
+        assert "distance: mu=" in out
+
+    def test_generate_all_datasets(self, tmp_path):
+        for name in ("dblp", "amazon"):
+            path = tmp_path / f"{name}.jsonl"
+            assert main([
+                "generate", name, "--num-graphs", "25", "--seed", "1",
+                "--output", str(path),
+            ]) == 0
+            assert path.exists()
+
+
+class TestIndexAndQuery:
+    def test_build_index_and_query_with_it(self, db_path, tmp_path, capsys):
+        index_path = tmp_path / "index.npz"
+        assert main([
+            "build-index", str(db_path), "--output", str(index_path),
+            "--vantage-points", "5", "--branching", "4",
+        ]) == 0
+        assert index_path.exists()
+        assert main([
+            "query", str(db_path), "--k", "3", "--index", str(index_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pi(A) =" in out
+        assert "calibrated theta" in out
+
+    def test_query_without_prebuilt_index(self, db_path, capsys):
+        assert main([
+            "query", str(db_path), "--k", "2", "--theta", "8",
+            "--vantage-points", "4", "--branching", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+
+    def test_query_greedy_method(self, db_path, capsys):
+        assert main([
+            "query", str(db_path), "--k", "2", "--method", "greedy",
+            "--dims", "0", "1",
+        ]) == 0
+        assert "pi(A) =" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_unknown_experiment_lists_available(self, capsys):
+        code = main(["experiment", "not_a_real_one"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "fig2a_disc_growth" in err
+
+    def test_runs_a_driver(self, capsys, monkeypatch, tmp_path):
+        # Point the results dir at tmp to keep the repo clean during tests.
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        # Small dataset via monkeypatched sizes for speed.
+        monkeypatch.setitem(
+            harness.SCALES, "small",
+            {"dud": 80, "dblp": 40, "amazon": 50, "sweep": (20, 40)},
+        )
+        code = main(["experiment", "fig2a_disc_growth", "--dataset", "dud"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig2a_disc_growth" in out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExperimentAll:
+    def test_all_flag_runs_set(self, capsys, monkeypatch, tmp_path):
+        import repro.bench.harness as harness
+        import repro.cli as cli
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setitem(
+            harness.SCALES, "small",
+            {"dud": 50, "dblp": 30, "amazon": 35, "sweep": (15, 25)},
+        )
+        # Trim the set to a fast pair for the test; the full list is data.
+        monkeypatch.setattr(
+            cli, "ALL_EXPERIMENTS",
+            (("fig2a_disc_growth", "dud"), ("fig6l_index_memory", "dud")),
+        )
+        code = main(["experiment", "--all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed 2/2 experiments" in out
+
+    def test_missing_name_without_all(self, capsys):
+        assert main(["experiment"]) == 2
+        assert "provide a driver name" in capsys.readouterr().err
+
+    def test_all_experiment_names_resolve(self):
+        from repro.bench import distances, experiments, scaling
+        from repro.cli import ALL_EXPERIMENTS
+
+        modules = (experiments, scaling, distances)
+        for name, _ in ALL_EXPERIMENTS:
+            assert any(hasattr(m, name) for m in modules), name
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.strip()

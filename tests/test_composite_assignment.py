@@ -1,0 +1,122 @@
+"""Composite query functions and representative assignment analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assign_to_representatives
+from repro.core import baseline_greedy
+from repro.ged import StarDistance
+from repro.graphs import And, GraphDatabase, Not, Or, path_graph
+from repro.graphs.relevance import WeightedScoreThreshold, quartile_relevance
+from tests.conftest import random_database
+
+
+def _db():
+    graphs = [path_graph(["C"]) for _ in range(6)]
+    features = np.array([
+        [0.0, 0.0], [1.0, 0.0], [0.0, 1.0],
+        [1.0, 1.0], [0.5, 0.5], [2.0, 2.0],
+    ])
+    return GraphDatabase(graphs, features)
+
+
+class TestComposites:
+    def setup_method(self):
+        self.db = _db()
+        self.x_high = WeightedScoreThreshold([1.0, 0.0], threshold=1.0)
+        self.y_high = WeightedScoreThreshold([0.0, 1.0], threshold=1.0)
+
+    def test_and(self):
+        both = And(self.x_high, self.y_high)
+        assert list(self.db.relevant_indices(both)) == [3, 5]
+
+    def test_or(self):
+        either = Or(self.x_high, self.y_high)
+        assert list(self.db.relevant_indices(either)) == [1, 2, 3, 5]
+
+    def test_not(self):
+        negated = Not(self.x_high)
+        assert list(self.db.relevant_indices(negated)) == [0, 2, 4]
+
+    def test_nested(self):
+        query = And(Or(self.x_high, self.y_high), Not(self.y_high))
+        assert list(self.db.relevant_indices(query)) == [1]
+
+    def test_scalar_call_agrees_with_mask(self):
+        query = And(self.x_high, Not(self.y_high))
+        mask = query.mask(self.db.features)
+        for row, expected in zip(self.db.features, mask):
+            assert query(row) == bool(expected)
+
+    def test_no_scalar_score(self):
+        with pytest.raises(NotImplementedError):
+            And(self.x_high).scores(self.db.features)
+        with pytest.raises(NotImplementedError):
+            Or(self.x_high).scores(self.db.features)
+        with pytest.raises(NotImplementedError):
+            Not(self.x_high).scores(self.db.features)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()
+
+    def test_composites_drive_queries(self):
+        db = random_database(seed=5, size=40)
+        dist = StarDistance()
+        q = Or(
+            quartile_relevance(db, dims=[0], quantile=0.6),
+            quartile_relevance(db, dims=[1], quantile=0.6),
+        )
+        result = baseline_greedy(db, dist, q, 5.0, 3)
+        assert len(result.answer) >= 1
+
+
+class TestAssignment:
+    def _run(self, seed=4):
+        db = random_database(seed=seed, size=40)
+        dist = StarDistance()
+        q = quartile_relevance(db, quantile=0.3)
+        result = baseline_greedy(db, dist, q, 5.0, 4)
+        return db, dist, q, result
+
+    def test_partition_properties(self):
+        db, dist, q, result = self._run()
+        assignment = assign_to_representatives(db, dist, q, result)
+        relevant = set(int(i) for i in db.relevant_indices(q))
+        assigned = set()
+        for members in assignment.clusters.values():
+            for m in members:
+                assert m not in assigned  # disjoint
+                assigned.add(m)
+        assert assigned | set(assignment.uncovered) == relevant
+        assert assigned == set(result.covered)
+
+    def test_exemplars_represent_themselves(self):
+        db, dist, q, result = self._run(seed=5)
+        assignment = assign_to_representatives(db, dist, q, result)
+        for exemplar in result.answer:
+            assert exemplar in assignment.clusters[exemplar]
+            assert assignment.representative_of(exemplar) == exemplar
+
+    def test_members_within_theta_of_their_exemplar(self):
+        db, dist, q, result = self._run(seed=6)
+        assignment = assign_to_representatives(db, dist, q, result)
+        for exemplar, members in assignment.clusters.items():
+            for m in members:
+                assert dist(db[m], db[exemplar]) <= result.theta + 1e-9
+
+    def test_uncovered_beyond_theta_of_all(self):
+        db, dist, q, result = self._run(seed=7)
+        assignment = assign_to_representatives(db, dist, q, result)
+        for gid in assignment.uncovered:
+            for exemplar in result.answer:
+                assert dist(db[gid], db[exemplar]) > result.theta
+
+    def test_cluster_sizes_and_lookup(self):
+        db, dist, q, result = self._run(seed=8)
+        assignment = assign_to_representatives(db, dist, q, result)
+        sizes = assignment.cluster_sizes
+        assert sum(sizes.values()) == len(result.covered)
+        assert assignment.representative_of(-1) is None

@@ -1,0 +1,97 @@
+"""Unit tests for GraphDatabase."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphDatabase, LabeledGraph, path_graph
+from repro.graphs.relevance import WeightedScoreThreshold
+
+
+def _graphs(n):
+    return [path_graph(["C"] * (i % 3 + 1)) for i in range(n)]
+
+
+class TestConstruction:
+    def test_basic(self):
+        db = GraphDatabase(_graphs(4), np.arange(8).reshape(4, 2))
+        assert len(db) == 4
+        assert db.num_features == 2
+
+    def test_one_dimensional_features_reshaped(self):
+        db = GraphDatabase(_graphs(3), [1.0, 2.0, 3.0])
+        assert db.features.shape == (3, 1)
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError, match="feature rows"):
+            GraphDatabase(_graphs(3), np.zeros((2, 2)))
+
+    def test_three_dimensional_features_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            GraphDatabase(_graphs(2), np.zeros((2, 2, 2)))
+
+    def test_graph_ids_assigned_densely(self):
+        db = GraphDatabase(_graphs(5), np.zeros(5))
+        assert [g.graph_id for g in db] == [0, 1, 2, 3, 4]
+
+    def test_features_read_only(self):
+        db = GraphDatabase(_graphs(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            db.features[0, 0] = 1.0
+
+
+class TestAccess:
+    def test_getitem_and_iter(self):
+        db = GraphDatabase(_graphs(3), np.zeros(3))
+        assert db[1].graph_id == 1
+        assert len(list(db)) == 3
+
+    def test_feature_vector(self):
+        db = GraphDatabase(_graphs(2), [[1.0, 2.0], [3.0, 4.0]])
+        assert list(db.feature_vector(1)) == [3.0, 4.0]
+
+
+class TestRelevance:
+    def test_vectorized_query(self):
+        db = GraphDatabase(_graphs(4), [[0.0], [1.0], [2.0], [3.0]])
+        q = WeightedScoreThreshold([1.0], threshold=2.0)
+        assert list(db.relevant_indices(q)) == [2, 3]
+
+    def test_plain_callable_query(self):
+        db = GraphDatabase(_graphs(4), [[0.0], [1.0], [2.0], [3.0]])
+        assert list(db.relevant_indices(lambda row: row[0] >= 1.0)) == [1, 2, 3]
+
+    def test_no_relevant(self):
+        db = GraphDatabase(_graphs(2), [[0.0], [0.0]])
+        q = WeightedScoreThreshold([1.0], threshold=5.0)
+        assert db.relevant_indices(q).size == 0
+
+
+class TestSubsetAndSample:
+    def test_subset_renumbers(self):
+        db = GraphDatabase(_graphs(5), np.arange(5.0))
+        sub = db.subset([1, 3])
+        assert len(sub) == 2
+        assert [g.graph_id for g in sub] == [0, 1]
+        assert list(sub.features[:, 0]) == [1.0, 3.0]
+
+    def test_sample_size_validation(self):
+        db = GraphDatabase(_graphs(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            db.sample(10, np.random.default_rng(0))
+
+    def test_sample_deterministic(self):
+        db = GraphDatabase(_graphs(10), np.arange(10.0))
+        a = db.sample(4, np.random.default_rng(5))
+        b = db.sample(4, np.random.default_rng(5))
+        assert np.array_equal(a.features, b.features)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        db = GraphDatabase(
+            [path_graph(["C", "C"]), path_graph(["C", "C", "C"])], np.zeros(2)
+        )
+        s = db.summary()
+        assert s["num_graphs"] == 2
+        assert s["avg_nodes"] == 2.5
+        assert s["avg_edges"] == 1.5

@@ -1,0 +1,82 @@
+"""DisC baseline: covering + independence invariants, growth behaviour."""
+
+import pytest
+
+from repro.baselines import disc_greedy, is_valid_disc_answer
+from repro.core import all_theta_neighborhoods, baseline_greedy
+from repro.ged import StarDistance
+from repro.graphs import quartile_relevance
+from tests.conftest import random_database
+
+
+def _setup(seed=0, size=60, quantile=0.3):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=quantile)
+    return db, dist, q
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed,theta", [(0, 4.0), (1, 6.0), (2, 3.0)])
+    def test_covering_and_independent(self, seed, theta):
+        db, dist, q = _setup(seed=seed)
+        result = disc_greedy(db, dist, q, theta)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+        assert is_valid_disc_answer(result.answer, neighborhoods, relevant)
+
+    def test_pi_is_one_when_uncapped(self):
+        db, dist, q = _setup(seed=3)
+        result = disc_greedy(db, dist, q, 5.0)
+        assert result.pi == pytest.approx(1.0)
+
+    def test_stop_at_k_truncates(self):
+        db, dist, q = _setup(seed=4)
+        full = disc_greedy(db, dist, q, 4.0)
+        capped = disc_greedy(db, dist, q, 4.0, stop_at_k=2)
+        assert len(capped.answer) == min(2, len(full.answer))
+        assert capped.answer == full.answer[: len(capped.answer)]
+
+
+class TestGrowthBehaviour:
+    def test_answer_grows_with_relevant_set(self):
+        """Fig. 2(a): DisC answer size grows with the number of relevant
+        objects (no budget control)."""
+        db, dist, _ = _setup(seed=5, size=80)
+        sizes = []
+        for quantile in (0.8, 0.5, 0.2):
+            q = quartile_relevance(db, quantile=quantile)
+            result = disc_greedy(db, dist, q, 4.0)
+            sizes.append(len(result.answer))
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        assert sizes[2] > sizes[0]
+
+    def test_smaller_theta_larger_answer(self):
+        db, dist, q = _setup(seed=6)
+        small = disc_greedy(db, dist, q, 3.0)
+        large = disc_greedy(db, dist, q, 9.0)
+        assert len(small.answer) >= len(large.answer)
+
+
+class TestComparisonWithRep:
+    def test_rep_compression_ratio_at_least_disc(self):
+        """Table 4's headline: budgeted REP attains higher CR than DisC."""
+        db, dist, q = _setup(seed=7, size=80)
+        theta = 4.0
+        disc = disc_greedy(db, dist, q, theta)
+        k = max(1, len(disc.answer) // 3)
+        rep = baseline_greedy(db, dist, q, theta, k)
+        assert rep.compression_ratio >= disc.compression_ratio - 1e-9
+
+
+class TestValidatorRejectsBadAnswers:
+    def test_rejects_non_covering(self):
+        neighborhoods = {0: frozenset({0}), 1: frozenset({1})}
+        assert not is_valid_disc_answer([0], neighborhoods, [0, 1])
+
+    def test_rejects_dependent_pair(self):
+        neighborhoods = {
+            0: frozenset({0, 1}),
+            1: frozenset({0, 1}),
+        }
+        assert not is_valid_disc_answer([0, 1], neighborhoods, [0, 1])

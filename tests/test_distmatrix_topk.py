@@ -1,0 +1,95 @@
+"""Distance-matrix oracle and traditional top-k baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistanceMatrixOracle, answer_set_redundancy, traditional_top_k
+from repro.core import baseline_greedy
+from repro.ged import StarDistance
+from repro.graphs import GraphDatabase, path_graph, quartile_relevance
+from repro.graphs.relevance import WeightedScoreThreshold
+from tests.conftest import random_database
+
+
+class TestDistanceMatrixOracle:
+    def test_matrix_symmetric(self):
+        db = random_database(seed=0, size=20)
+        oracle = DistanceMatrixOracle(db, StarDistance())
+        assert np.allclose(oracle.matrix, oracle.matrix.T)
+
+    def test_distance_lookup(self):
+        db = random_database(seed=1, size=15)
+        dist = StarDistance()
+        oracle = DistanceMatrixOracle(db, dist)
+        assert oracle.distance(3, 7) == pytest.approx(dist(db[3], db[7]))
+
+    def test_range_query_matches_scan(self):
+        db = random_database(seed=2, size=25)
+        dist = StarDistance()
+        oracle = DistanceMatrixOracle(db, dist)
+        theta = 5.0
+        expected = sorted(
+            j for j in range(25) if dist(db[4], db[j]) <= theta + 1e-9
+        )
+        assert sorted(int(i) for i in oracle.range_query(4, theta)) == expected
+
+    def test_greedy_identical_to_baseline(self):
+        db = random_database(seed=3, size=40)
+        dist = StarDistance()
+        q = quartile_relevance(db, quantile=0.3)
+        oracle = DistanceMatrixOracle(db, dist)
+        theta, k = 5.0, 5
+        assert oracle.greedy(q, theta, k).answer == baseline_greedy(
+            db, dist, q, theta, k
+        ).answer
+
+    def test_memory_is_n_squared_doubles(self):
+        db = random_database(seed=4, size=10)
+        oracle = DistanceMatrixOracle(db, StarDistance())
+        assert oracle.memory_bytes() == 10 * 10 * 8
+
+    def test_build_time_recorded(self):
+        db = random_database(seed=5, size=10)
+        oracle = DistanceMatrixOracle(db, StarDistance())
+        assert oracle.build_seconds > 0
+
+
+class TestTraditionalTopK:
+    def test_orders_by_score_desc(self):
+        graphs = [path_graph(["C"]) for _ in range(5)]
+        db = GraphDatabase(graphs, [[1.0], [5.0], [3.0], [5.0], [2.0]])
+        q = WeightedScoreThreshold([1.0], threshold=0.0)
+        top3 = traditional_top_k(db, q, 3)
+        assert top3 == [1, 3, 2]  # ties by smaller id
+
+    def test_k_larger_than_database(self):
+        graphs = [path_graph(["C"]) for _ in range(3)]
+        db = GraphDatabase(graphs, [[1.0], [2.0], [3.0]])
+        q = WeightedScoreThreshold([1.0], threshold=0.0)
+        assert len(traditional_top_k(db, q, 10)) == 3
+
+    def test_validation(self):
+        db = random_database(seed=6, size=5)
+        q = quartile_relevance(db, quantile=0.5)
+        with pytest.raises(ValueError):
+            traditional_top_k(db, q, 0)
+
+
+class TestRedundancy:
+    def test_identical_answers_have_zero_distances(self):
+        graphs = [path_graph(["C", "C"]) for _ in range(4)]
+        db = GraphDatabase(graphs, np.zeros(4))
+        stats = answer_set_redundancy(db, StarDistance(), [0, 1, 2])
+        assert stats["mean"] == 0.0
+        assert stats["pairs"] == 3
+
+    def test_single_answer_trivial(self):
+        db = random_database(seed=7, size=5)
+        stats = answer_set_redundancy(db, StarDistance(), [0])
+        assert stats["pairs"] == 0
+
+    def test_diverse_answers_have_positive_mean(self):
+        db = random_database(seed=8, size=10)
+        stats = answer_set_redundancy(db, StarDistance(), [0, 3, 7])
+        assert stats["mean"] > 0
+        assert stats["min"] <= stats["mean"] <= stats["max"]

@@ -1,0 +1,89 @@
+"""DIV baseline: separation constraints, static scores, quality gap vs REP."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import div_topk
+from repro.baselines.div import _exact_component, _greedy_component
+from repro.core import baseline_greedy
+from repro.ged import StarDistance
+from repro.graphs import quartile_relevance
+from tests.conftest import random_database
+
+
+def _setup(seed=0, size=60):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=0.3)
+    return db, dist, q
+
+
+class TestSeparationConstraint:
+    @pytest.mark.parametrize("factor", [1.0, 2.0])
+    def test_pairwise_distances_exceed_separation(self, factor):
+        db, dist, q = _setup(seed=1)
+        theta = 4.0
+        result = div_topk(db, dist, q, theta, 6, separation_factor=factor)
+        for a, b in itertools.combinations(result.answer, 2):
+            assert dist(db[a], db[b]) > factor * theta - 1e-9
+
+    def test_answer_within_budget_and_relevant(self):
+        db, dist, q = _setup(seed=2)
+        result = div_topk(db, dist, q, 4.0, 5)
+        assert len(result.answer) <= 5
+        relevant = set(int(i) for i in db.relevant_indices(q))
+        assert set(result.answer) <= relevant
+
+
+class TestQualityOrdering:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rep_dominates_div(self, seed):
+        """Table 4: REP ≥ DIV(θ) ≥ roughly DIV(2θ) in π.
+
+        REP ≥ DIV(θ) is a theorem here (greedy argmax dominates any
+        feasible same-size answer per-step is not a proof, but REP's greedy
+        maximizes coverage while DIV maximizes an indirect surrogate; we
+        assert the empirical ordering the paper reports).
+        """
+        db, dist, q = _setup(seed=seed)
+        theta, k = 4.0, 5
+        rep = baseline_greedy(db, dist, q, theta, k)
+        div1 = div_topk(db, dist, q, theta, k, 1.0)
+        div2 = div_topk(db, dist, q, theta, k, 2.0)
+        assert rep.pi >= div1.pi - 1e-9
+        assert rep.pi >= div2.pi - 1e-9
+
+    def test_stricter_separation_not_better(self):
+        db, dist, q = _setup(seed=3)
+        div1 = div_topk(db, dist, q, 4.0, 5, 1.0)
+        div2 = div_topk(db, dist, q, 4.0, 5, 2.0)
+        # The 2θ constraint is strictly harder; its achievable score sum
+        # (and in practice π) cannot beat θ's by much — assert the answer
+        # is no larger.
+        assert len(div2.answer) <= len(div1.answer)
+
+
+class TestComponentSolvers:
+    def test_exact_component_beats_or_ties_greedy(self):
+        # Path conflict graph 0-1-2 with middle vertex worth the most:
+        # greedy takes 1 alone (score 10); exact takes {0, 2} (score 12).
+        scores = {0: 6, 1: 10, 2: 6}
+        conflicts = {0: {1}, 1: {0, 2}, 2: {1}}
+        exact = _exact_component([0, 1, 2], scores, conflicts, k=2)
+        greedy = _greedy_component([0, 1, 2], scores, conflicts)
+        assert sum(scores[g] for g in exact) >= sum(scores[g] for g in greedy)
+        assert sorted(exact) == [0, 2]
+
+    def test_greedy_component_respects_conflicts(self):
+        scores = {0: 5, 1: 4, 2: 3}
+        conflicts = {0: {1}, 1: {0}, 2: set()}
+        picked = _greedy_component([0, 1, 2], scores, conflicts)
+        assert 0 in picked and 1 not in picked and 2 in picked
+
+
+class TestValidation:
+    def test_rejects_bad_separation(self):
+        db, dist, q = _setup(seed=4, size=20)
+        with pytest.raises(ValueError):
+            div_topk(db, dist, q, 4.0, 3, separation_factor=0.5)

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+The fast scripts run as subprocesses; the heavier comparison script is
+compile-checked only (its full run is exercised implicitly — every engine
+it calls has its own tests).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "drug_discovery.py",
+    "interactive_zoom.py",
+]
+
+ALL_EXAMPLES = FAST_EXAMPLES + [
+    "collaboration_groups.py",
+    "engines_comparison.py",
+]
+
+FAST_EXAMPLES = FAST_EXAMPLES + ["metric_space_points.py", "information_cascades.py", "bug_triage.py"]
+ALL_EXAMPLES = ALL_EXAMPLES + ["metric_space_points.py", "information_cascades.py", "bug_triage.py"]
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()

@@ -1,0 +1,161 @@
+"""Smoke tests for the experiment drivers at tiny scale.
+
+The benchmarks exercise these at full scale; these tests keep ``pytest
+tests/`` able to catch driver regressions (signature drift, column
+renames, broken engines) in seconds.
+"""
+
+import pytest
+
+from repro.bench import BenchContext
+from repro.bench.distances import ablation_distance_quality
+from repro.bench.experiments import (
+    fig2a_disc_growth,
+    fig5ab_distance_cdf,
+    fig5ce_distance_hist,
+    fig5fh_fpr,
+    fig7_qualitative,
+    table4_quality,
+)
+from repro.bench.scaling import (
+    ablation_bounds,
+    ablation_insert_degradation,
+    fig5l6a_threshold_gap,
+    fig6h_time_vs_dims,
+    fig6i_zoom,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return BenchContext.create("dud", num_graphs=70, seed=3,
+                               num_vantage_points=5, branching=4)
+
+
+class TestQualityDrivers:
+    def test_fig2a(self, tiny_ctx):
+        result = fig2a_disc_growth(tiny_ctx, relevant_quantiles=(0.8, 0.4))
+        assert result.columns[0] == "relevant"
+        assert len(result.rows) == 2
+        assert result.rows[0]["relevant"] <= result.rows[1]["relevant"]
+
+    def test_table4(self, tiny_ctx):
+        result = table4_quality([tiny_ctx], ks=(3, 5))
+        assert len(result.rows) == 3  # two ks + DisC row
+        assert result.rows[0]["REP_pi"] >= result.rows[0]["DIV(t)_pi"] - 1e-9
+
+    def test_fig7(self):
+        result = fig7_qualitative(num_graphs=70, seed=3, k=3)
+        engines = {row["engine"] for row in result.rows}
+        assert engines == {"traditional_topk", "representative"}
+
+
+class TestDistributionDrivers:
+    def test_fig5ab(self, tiny_ctx):
+        result = fig5ab_distance_cdf([tiny_ctx], num_points=5, num_pairs=200)
+        assert len(result.rows) == 5
+        cdf = [row["cdf"] for row in result.rows]
+        assert cdf == sorted(cdf)
+
+    def test_fig5ce(self, tiny_ctx):
+        result = fig5ce_distance_hist([tiny_ctx], bins=5, num_pairs=200)
+        assert all(row["sigma"] > 0 for row in result.rows)
+
+    def test_fig5fh(self, tiny_ctx):
+        result = fig5fh_fpr(tiny_ctx, theta_factors=(1.0,), num_pairs=200)
+        assert 0.0 <= result.rows[0]["observed_fpr"] <= 1.0
+
+
+class TestScalingDrivers:
+    def test_fig5l6a(self, tiny_ctx):
+        result = fig5l6a_threshold_gap(tiny_ctx, gap_factors=(0.0, 1.0), k=3)
+        assert len(result.rows) == 2
+        assert all(row["query_s"] > 0 for row in result.rows)
+
+    def test_fig6h(self, tiny_ctx):
+        result = fig6h_time_vs_dims(tiny_ctx, dims_list=(1, 10), k=3)
+        assert len(result.rows) == 2
+
+    def test_fig6i(self, tiny_ctx):
+        result = fig6i_zoom([tiny_ctx], k=3, rounds=2)
+        assert result.rows[0]["nb_refine_avg_s"] > 0
+
+    def test_ablation_bounds(self, tiny_ctx):
+        result = ablation_bounds(tiny_ctx, k=3)
+        variants = [row["variant"] for row in result.rows]
+        assert variants == ["full", "no_updates", "vo_only"]
+        pis = [row["pi"] for row in result.rows]
+        assert max(pis) - min(pis) < 1e-9
+
+    def test_ablation_insert(self):
+        result = ablation_insert_degradation("dud", base_size=50,
+                                             num_inserts=10, k=3, seed=3)
+        names = [row["index"] for row in result.rows]
+        assert names == ["incremental", "rebuilt"]
+
+
+class TestDistanceDriver:
+    def test_ablation_distance_quality_tiny(self):
+        result = ablation_distance_quality(num_graphs=8, num_pairs=10, seed=3)
+        by_name = {row["distance"]: row for row in result.rows}
+        assert by_name["exact_astar"]["spearman_vs_exact"] == pytest.approx(1.0)
+        assert by_name["star_metric"]["metric_on_sample"]
+
+
+class TestSweepDrivers:
+    """Tiny-size smoke coverage of the size/k sweep drivers."""
+
+    def test_fig2b(self):
+        from repro.bench.scaling import fig2b_baseline_scaling
+
+        result = fig2b_baseline_scaling("dud", sizes=(20, 35), k=2, seed=3)
+        assert [row["size"] for row in result.rows] == [20, 35]
+        assert all(row["plain_greedy_s"] > 0 for row in result.rows)
+
+    def test_fig5ik(self, tiny_ctx):
+        from repro.bench.scaling import fig5ik_time_vs_theta
+
+        result = fig5ik_time_vs_theta(
+            tiny_ctx, theta_factors=(1.0,), k=2, include_matrix=True
+        )
+        row = result.rows[0]
+        for column in ("nbindex_s", "ctree_greedy_s", "disc_s", "div_s",
+                       "distmatrix_s"):
+            assert row[column] >= 0
+
+    def test_fig6bd(self):
+        from repro.bench.scaling import fig6bd_time_vs_size
+
+        result = fig6bd_time_vs_size("dud", sizes=(20, 35), k=2, seed=3)
+        assert len(result.rows) == 2
+
+    def test_fig6eg(self, tiny_ctx):
+        from repro.bench.scaling import fig6eg_time_vs_k
+
+        result = fig6eg_time_vs_k(tiny_ctx, ks=(2, 4))
+        assert [row["k"] for row in result.rows] == [2, 4]
+
+    def test_fig6j(self):
+        from repro.bench.scaling import fig6j_zoom_scaling
+
+        result = fig6j_zoom_scaling("dud", sizes=(25,), k=2, rounds=2, seed=3)
+        assert result.rows[0]["nb_refine_avg_s"] > 0
+
+    def test_fig6k_and_6l(self):
+        from repro.bench.scaling import fig6k_index_build, fig6l_index_memory
+
+        build = fig6k_index_build("dud", sizes=(25,), seed=3)
+        assert build.rows[0]["nb_distance_calls"] > 0
+        memory = fig6l_index_memory("dud", sizes=(25,), seed=3)
+        assert memory.rows[0]["nb_index_bytes"] > 0
+
+    def test_ablation_vp_and_branching_and_ladder(self, tiny_ctx):
+        from repro.bench.scaling import (
+            ablation_branching,
+            ablation_ladder_density,
+            ablation_vp_count,
+        )
+
+        assert len(ablation_vp_count(tiny_ctx, (2, 4), k=2, num_pairs=60).rows) == 2
+        assert len(ablation_branching(tiny_ctx, (3, 6), k=2).rows) == 2
+        assert len(ablation_ladder_density(tiny_ctx, (1, 4), k=2).rows) == 2

@@ -1,0 +1,115 @@
+"""FPR theory (Eqs. 8–12) and empirical measurement."""
+
+import numpy as np
+import pytest
+
+from repro.ged import StarDistance
+from repro.index import (
+    VantageEmbedding,
+    choose_num_vps,
+    distance_moments,
+    empirical_fpr,
+    fpr_uniform,
+    fpr_upper_bound_gaussian,
+    select_vantage_points,
+)
+from tests.conftest import random_database
+
+
+class TestGaussianBound:
+    def test_in_unit_interval(self):
+        for theta in (1.0, 5.0, 20.0):
+            for vps in (1, 10, 100):
+                value = fpr_upper_bound_gaussian(theta, mu=10.0, sigma=3.0, num_vps=vps)
+                assert 0.0 <= value <= 1.0
+
+    def test_monotone_decreasing_in_vps(self):
+        values = [
+            fpr_upper_bound_gaussian(5.0, mu=10.0, sigma=3.0, num_vps=v)
+            for v in (1, 5, 25, 100)
+        ]
+        assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_large_theta_gives_tiny_miss_probability(self):
+        # θ far above μ: almost every pair is a true neighbor, so false
+        # positives are rare regardless of VPs.
+        assert fpr_upper_bound_gaussian(100.0, mu=10.0, sigma=3.0, num_vps=1) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fpr_upper_bound_gaussian(5.0, mu=10.0, sigma=0.0, num_vps=1)
+        with pytest.raises(ValueError):
+            fpr_upper_bound_gaussian(5.0, mu=10.0, sigma=1.0, num_vps=0)
+
+
+class TestUniformModel:
+    def test_formula(self):
+        # m = diameter/theta = 4: FPR = (3/4) * 4^-V
+        assert fpr_uniform(1.0, 4.0, 1) == pytest.approx(0.75 / 4)
+        assert fpr_uniform(1.0, 4.0, 2) == pytest.approx(0.75 / 16)
+
+    def test_theta_above_diameter_no_false_positives(self):
+        assert fpr_uniform(5.0, 4.0, 3) == 0.0
+
+    def test_matches_simulation(self):
+        # Simulate the uniform model directly: independent coordinates for
+        # pairs.  The exact per-VP pass probability for U(0, mθ) vantage
+        # coordinates is 2/m − 1/m²; Eq. 12 approximates it by 1/m, so the
+        # simulation is compared to the exact expression and Eq. 12 is
+        # checked to sit within the same order of magnitude below it.
+        rng = np.random.default_rng(0)
+        theta, m, vps = 1.0, 5.0, 2
+        trials = 200_000
+        d_true = rng.uniform(0, m * theta, trials)
+        passes = np.ones(trials, dtype=bool)
+        for _ in range(vps):
+            a = rng.uniform(0, m * theta, trials)
+            b = rng.uniform(0, m * theta, trials)
+            passes &= np.abs(a - b) <= theta
+        observed = float(np.mean((d_true > theta) & passes))
+        exact = (m - 1) / m * (2 / m - 1 / m**2) ** vps
+        assert observed == pytest.approx(exact, rel=0.1)
+        predicted = fpr_uniform(theta, m * theta, vps)
+        assert predicted <= exact
+        assert predicted >= exact / 8
+
+
+class TestChooseNumVps:
+    def test_returns_small_count_for_loose_target(self):
+        assert choose_num_vps(0.9, [5.0], mu=10.0, sigma=3.0) == 1
+
+    def test_more_vps_for_tighter_target(self):
+        loose = choose_num_vps(0.5, [8.0], mu=10.0, sigma=3.0)
+        tight = choose_num_vps(0.001, [8.0], mu=10.0, sigma=3.0)
+        assert tight >= loose
+
+    def test_respects_max(self):
+        assert choose_num_vps(1e-12, [9.9], mu=10.0, sigma=0.5, max_vps=7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_num_vps(0.0, [5.0], mu=10.0, sigma=3.0)
+        with pytest.raises(ValueError):
+            choose_num_vps(0.1, [], mu=10.0, sigma=3.0)
+
+
+class TestEmpirical:
+    def test_empirical_fpr_in_unit_interval_and_decreasing(self):
+        db = random_database(seed=5, size=60)
+        dist = StarDistance()
+        few = VantageEmbedding(
+            db.graphs, select_vantage_points(db.graphs, 2, rng=0), dist
+        )
+        many = VantageEmbedding(
+            db.graphs, select_vantage_points(db.graphs, 12, rng=0), dist
+        )
+        theta = 4.0
+        fpr_few = empirical_fpr(few, dist, db.graphs, theta, num_pairs=600, rng=1)
+        fpr_many = empirical_fpr(many, dist, db.graphs, theta, num_pairs=600, rng=1)
+        assert 0.0 <= fpr_many <= fpr_few <= 1.0
+
+    def test_distance_moments_reasonable(self):
+        db = random_database(seed=5, size=40)
+        mu, sigma = distance_moments(db.graphs, StarDistance(), num_pairs=400, rng=2)
+        assert mu > 0
+        assert sigma > 0

@@ -1,0 +1,129 @@
+"""Exact GED (A*) tests: hand-verified distances, limits, edit paths."""
+
+import pytest
+
+from repro.ged import ExactGED, edit_path_cost
+from repro.ged.costs import CustomCostModel
+from repro.graphs import LabeledGraph, cycle_graph, path_graph, star_graph
+
+ged = ExactGED()
+
+
+class TestKnownDistances:
+    def test_identical_graphs(self):
+        g = cycle_graph(["C", "N", "O"])
+        assert ged(g, g) == 0.0
+
+    def test_single_relabel(self):
+        a = path_graph(["C", "C", "O"])
+        b = path_graph(["C", "C", "N"])
+        assert ged(a, b) == 1.0
+
+    def test_node_insertion(self):
+        a = path_graph(["C", "C"])
+        b = path_graph(["C", "C", "C"])
+        # one node insert + one edge insert
+        assert ged(a, b) == 2.0
+
+    def test_edge_deletion(self):
+        a = cycle_graph(["C", "C", "C"])
+        b = path_graph(["C", "C", "C"])
+        assert ged(a, b) == 1.0
+
+    def test_empty_to_graph(self):
+        a = LabeledGraph([])
+        b = path_graph(["C", "N"])
+        assert ged(a, b) == 3.0  # two nodes + one edge
+
+    def test_disjoint_labels(self):
+        a = path_graph(["A", "A"])
+        b = path_graph(["B", "B"])
+        assert ged(a, b) == 2.0  # relabel both, edge matches
+
+    def test_edge_label_substitution(self):
+        a = LabeledGraph(["C", "C"], [(0, 1, "-")])
+        b = LabeledGraph(["C", "C"], [(0, 1, "=")])
+        assert ged(a, b) == 1.0
+
+    def test_star_vs_path(self):
+        a = star_graph("C", ["C", "C", "C"])
+        b = path_graph(["C", "C", "C", "C"])
+        # Same labels and edge counts, different topology: rewire 1 edge =
+        # delete + insert.
+        assert ged(a, b) == 2.0
+
+
+class TestProperties:
+    def test_symmetry(self):
+        a = cycle_graph(["C", "N", "O", "C"])
+        b = star_graph("N", ["C", "O"])
+        assert ged(a, b) == ged(b, a)
+
+    def test_limit_short_circuits(self):
+        a = path_graph(["A"] * 5)
+        b = path_graph(["B"] * 5)
+        assert ged(a, b, limit=2.0) == float("inf")
+
+    def test_limit_equal_to_distance_passes(self):
+        a = path_graph(["C", "C", "O"])
+        b = path_graph(["C", "C", "N"])
+        assert ged(a, b, limit=1.0) == 1.0
+
+    def test_within(self):
+        a = path_graph(["C", "C", "O"])
+        b = path_graph(["C", "C", "N"])
+        assert ged.within(a, b, 1.0)
+        assert not ged.within(a, b, 0.5)
+
+
+class TestCustomCosts:
+    def test_cheap_substitution(self):
+        costs = CustomCostModel(node_sub=0.5)
+        a = path_graph(["C", "C", "O"])
+        b = path_graph(["C", "C", "N"])
+        assert ExactGED(costs)(a, b) == 0.5
+
+    def test_expensive_edges(self):
+        costs = CustomCostModel(edge_ins_del=3.0)
+        a = cycle_graph(["C", "C", "C"])
+        b = path_graph(["C", "C", "C"])
+        assert ExactGED(costs)(a, b) == 3.0
+
+    def test_metric_constraint_enforced(self):
+        with pytest.raises(ValueError, match="metric"):
+            CustomCostModel(node_sub=5.0, node_ins_del=1.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            CustomCostModel(node_sub=0.0)
+
+
+class TestEditPathCost:
+    def test_identity_mapping(self):
+        g = path_graph(["C", "N", "O"])
+        mapping = {0: 0, 1: 1, 2: 2}
+        assert edit_path_cost(g, g, mapping) == 0.0
+
+    def test_any_mapping_upper_bounds_exact(self):
+        a = cycle_graph(["C", "N", "O"])
+        b = path_graph(["C", "O", "N"])
+        # Deliberately bad mapping.
+        mapping = {0: 2, 1: 0, 2: 1}
+        assert edit_path_cost(a, b, mapping) >= ged(a, b)
+
+    def test_deletion_and_insertion(self):
+        a = path_graph(["C", "C"])
+        b = path_graph(["C"])
+        mapping = {0: 0, 1: None}
+        # delete node 1 and its edge
+        assert edit_path_cost(a, b, mapping) == 2.0
+
+    def test_incomplete_mapping_rejected(self):
+        a = path_graph(["C", "C"])
+        with pytest.raises(ValueError, match="cover"):
+            edit_path_cost(a, a, {0: 0})
+
+    def test_non_injective_rejected(self):
+        a = path_graph(["C", "C"])
+        with pytest.raises(ValueError, match="injective"):
+            edit_path_cost(a, a, {0: 0, 1: 0})

@@ -1,0 +1,101 @@
+"""Baseline and lazy greedy (Algorithm 1): correctness and equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_theta_neighborhoods, baseline_greedy, lazy_greedy
+from repro.ged import CountingDistance, StarDistance
+from repro.graphs import quartile_relevance
+from repro.baselines import MTree
+from tests.conftest import random_database
+
+
+def _setup(seed=0, size=60):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=0.3)
+    return db, dist, q
+
+
+class TestBaselineGreedy:
+    def test_argmax_each_iteration(self):
+        db, dist, q = _setup(seed=1)
+        theta, k = 5.0, 6
+        result = baseline_greedy(db, dist, q, theta, k)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+        covered: set[int] = set()
+        remaining = set(relevant)
+        for chosen, gain in zip(result.answer, result.gains):
+            best = max(len(neighborhoods[g] - covered) for g in remaining)
+            assert gain == best
+            covered |= neighborhoods[chosen]
+            remaining.discard(chosen)
+
+    def test_tie_break_smallest_id(self):
+        db, dist, q = _setup(seed=2)
+        theta = 4.0
+        result = baseline_greedy(db, dist, q, theta, 1)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+        best_gain = max(len(neighborhoods[g]) for g in relevant)
+        winners = [g for g in relevant if len(neighborhoods[g]) == best_gain]
+        assert result.answer[0] == min(winners)
+
+    def test_gains_non_increasing(self):
+        db, dist, q = _setup(seed=3)
+        result = baseline_greedy(db, dist, q, 5.0, 8)
+        assert all(a >= b for a, b in zip(result.gains, result.gains[1:]))
+
+    def test_pi_monotone_in_k(self):
+        db, dist, q = _setup(seed=4)
+        pis = [baseline_greedy(db, dist, q, 5.0, k).pi for k in (1, 3, 6, 10)]
+        assert all(a <= b + 1e-12 for a, b in zip(pis, pis[1:]))
+
+    def test_stop_on_zero_gain(self):
+        db, dist, q = _setup(seed=5)
+        result = baseline_greedy(db, dist, q, 1e9, 10, stop_on_zero_gain=True)
+        assert len(result.answer) == 1
+
+    def test_validation(self):
+        db, dist, q = _setup(seed=6, size=20)
+        with pytest.raises(ValueError):
+            baseline_greedy(db, dist, q, 0.0, 3)
+        with pytest.raises(ValueError):
+            baseline_greedy(db, dist, q, 5.0, -1)
+
+    def test_distance_calls_quadratic_in_relevant(self):
+        db, dist, q = _setup(seed=7, size=50)
+        counting = CountingDistance(dist)
+        result = baseline_greedy(db, counting, q, 5.0, 3)
+        r = result.num_relevant
+        assert result.stats.distance_calls == r * (r - 1) // 2
+
+
+class TestLazyGreedy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_to_baseline(self, seed):
+        db, dist, q = _setup(seed=seed)
+        theta, k = 5.0, 7
+        base = baseline_greedy(db, dist, q, theta, k)
+        lazy = lazy_greedy(db, dist, q, theta, k)
+        assert lazy.answer == base.answer
+        assert lazy.gains == base.gains
+
+    def test_stop_on_zero_gain(self):
+        db, dist, q = _setup(seed=8)
+        result = lazy_greedy(db, dist, q, 1e9, 10, stop_on_zero_gain=True)
+        assert len(result.answer) == 1
+
+
+class TestRangeQueryBackends:
+    def test_mtree_backend_equivalent(self):
+        db, dist, q = _setup(seed=9, size=50)
+        theta, k = 5.0, 5
+        tree = MTree(db.graphs, dist, capacity=8, rng=0)
+        plain = baseline_greedy(db, dist, q, theta, k)
+        indexed = baseline_greedy(
+            db, dist, q, theta, k, range_query=tree.range_query
+        )
+        assert indexed.answer == plain.answer
+        assert indexed.gains == plain.gains

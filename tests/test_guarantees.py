@@ -1,0 +1,131 @@
+"""Theoretical guarantees: submodularity (Theorem 2), monotonicity, and the
+(1 − 1/e) greedy approximation (Eq. 7) against brute-force optima."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_theta_neighborhoods,
+    baseline_greedy,
+    coverage,
+    greedy_guarantee_holds,
+    optimal_answer,
+    representative_power,
+    verify_submodularity,
+)
+from repro.graphs import quartile_relevance
+from repro.ged import StarDistance
+from tests.conftest import random_database
+
+
+# ---------------------------------------------------------------------------
+# Random symmetric neighborhood structures (abstract instances): hypothesis
+# builds the N(g) map directly, which covers far more structure than graph
+# sampling would.
+# ---------------------------------------------------------------------------
+@st.composite
+def neighborhood_structure(draw, max_items=10):
+    n = draw(st.integers(min_value=2, max_value=max_items))
+    neighborhoods = {i: {i} for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                neighborhoods[i].add(j)
+                neighborhoods[j].add(i)
+    return {i: frozenset(members) for i, members in neighborhoods.items()}
+
+
+class TestSubmodularity:
+    @settings(max_examples=60, deadline=None)
+    @given(neighborhood_structure(), st.data())
+    def test_eq4_on_random_witnesses(self, neighborhoods, data):
+        items = sorted(neighborhoods)
+        small = data.draw(st.sets(st.sampled_from(items), max_size=3))
+        extra_small = data.draw(st.sets(st.sampled_from(items), max_size=3))
+        large = small | extra_small
+        extra = data.draw(st.sampled_from(items))
+        assert verify_submodularity(
+            neighborhoods, len(items), sorted(small), sorted(large), extra
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(neighborhood_structure(), st.data())
+    def test_monotonicity(self, neighborhoods, data):
+        items = sorted(neighborhoods)
+        subset = data.draw(st.sets(st.sampled_from(items), max_size=4))
+        extra = data.draw(st.sampled_from(items))
+        before = representative_power(neighborhoods, subset, len(items))
+        after = representative_power(neighborhoods, subset | {extra}, len(items))
+        assert after >= before - 1e-12
+
+    def test_verify_submodularity_rejects_non_subset(self):
+        neighborhoods = {0: frozenset({0}), 1: frozenset({1})}
+        with pytest.raises(ValueError):
+            verify_submodularity(neighborhoods, 2, [0], [1], 0)
+
+
+class TestGreedyGuarantee:
+    @settings(max_examples=30, deadline=None)
+    @given(neighborhood_structure(max_items=9), st.integers(min_value=1, max_value=4))
+    def test_greedy_vs_bruteforce_on_abstract_instances(self, neighborhoods, k):
+        items = sorted(neighborhoods)
+        # Greedy on the abstract structure.
+        covered: set[int] = set()
+        remaining = set(items)
+        for _ in range(min(k, len(items))):
+            best = max(sorted(remaining), key=lambda g: len(neighborhoods[g] - covered))
+            covered |= neighborhoods[best]
+            remaining.discard(best)
+        _, optimal_covered = optimal_answer(neighborhoods, items, k)
+        assert greedy_guarantee_holds(len(covered), optimal_covered)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_greedy_vs_bruteforce_on_graphs(self, seed):
+        db = random_database(seed=seed, size=18)
+        dist = StarDistance()
+        q = quartile_relevance(db, quantile=0.2)
+        theta, k = 5.0, 3
+        result = baseline_greedy(db, dist, q, theta, k)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+        _, optimal_covered = optimal_answer(neighborhoods, relevant, k)
+        assert greedy_guarantee_holds(len(result.covered), optimal_covered)
+        # Coverage can never exceed the optimum.
+        assert len(result.covered) <= optimal_covered
+
+
+class TestBruteForce:
+    def test_known_optimum(self):
+        neighborhoods = {
+            0: frozenset({0, 1}),
+            1: frozenset({0, 1}),
+            2: frozenset({2}),
+            3: frozenset({3}),
+        }
+        subset, covered = optimal_answer(neighborhoods, [0, 1, 2, 3], 2)
+        assert covered == 3  # {0,1} plus one singleton
+        assert 0 in subset or 1 in subset
+
+    def test_guard_against_blowup(self):
+        neighborhoods = {i: frozenset({i}) for i in range(100)}
+        with pytest.raises(ValueError, match="exceed"):
+            optimal_answer(neighborhoods, list(range(100)), 2)
+
+    def test_guarantee_holds_edge_cases(self):
+        assert greedy_guarantee_holds(0, 0)
+        assert greedy_guarantee_holds(7, 10)
+        assert not greedy_guarantee_holds(3, 10)
+
+
+class TestRepresentativePrimitives:
+    def test_coverage_union(self):
+        neighborhoods = {0: frozenset({0, 1}), 2: frozenset({2})}
+        assert coverage(neighborhoods, [0, 2]) == frozenset({0, 1, 2})
+
+    def test_pi_normalization(self):
+        neighborhoods = {0: frozenset({0, 1})}
+        assert representative_power(neighborhoods, [0], 4) == 0.5
+        assert representative_power(neighborhoods, [], 4) == 0.0
+        assert representative_power(neighborhoods, [0], 0) == 0.0

@@ -1,0 +1,87 @@
+"""The from-scratch Hungarian solver, cross-validated against SciPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.ged import assignment_cost, hungarian
+
+
+class TestBasics:
+    def test_empty(self):
+        assignment, total = hungarian(np.zeros((0, 0)))
+        assert assignment == []
+        assert total == 0.0
+
+    def test_single(self):
+        assignment, total = hungarian([[3.5]])
+        assert assignment == [0]
+        assert total == 3.5
+
+    def test_identity_optimal(self):
+        cost = [[0, 9], [9, 0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_permutation_needed(self):
+        cost = [[9, 0], [0, 9]]
+        assignment, total = hungarian(cost)
+        assert assignment == [1, 0]
+        assert total == 0.0
+
+    def test_known_3x3(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _, total = hungarian(cost)
+        assert total == 5.0  # 1 + 2 + 2
+
+    def test_assignment_is_permutation(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((6, 6))
+        assignment, _ = hungarian(cost)
+        assert sorted(assignment) == list(range(6))
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            hungarian(np.zeros((2, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hungarian(np.zeros(4))
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            hungarian([[np.inf]])
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        cost = rng.random((n, n)) * 10
+        _, ours = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert ours == pytest.approx(float(cost[rows, cols].sum()))
+
+    def test_integer_costs(self):
+        rng = np.random.default_rng(42)
+        cost = rng.integers(0, 50, size=(8, 8)).astype(float)
+        rows, cols = linear_sum_assignment(cost)
+        assert assignment_cost(cost) == pytest.approx(float(cost[rows, cols].sum()))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_matches_scipy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 20, size=(n, n)).astype(float)
+        _, ours = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert ours == pytest.approx(float(cost[rows, cols].sum()))

@@ -1,0 +1,129 @@
+"""Deep NB-Index invariants: Theorem-5 π̂ validity, update-step safety,
+multi-seed greedy correctness, and randomized range-query equivalence for
+the metric trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CTree, MTree
+from repro.core import all_theta_neighborhoods
+from repro.ged import StarDistance
+from repro.graphs import quartile_relevance
+from repro.index import NBIndex
+from tests.conftest import random_database
+from tests.test_nbindex import assert_valid_greedy_trajectory
+
+
+def _build(seed=0, size=60):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=0.3)
+    index = NBIndex.build(db, dist, num_vantage_points=6, branching=4, rng=seed)
+    return db, dist, q, index
+
+
+class TestPiHatValidity:
+    """Def. 6 / Theorem 5: π̂ entries upper-bound true neighborhood sizes."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pi_hat_column_upper_bounds_true_counts(self, seed):
+        db, dist, q, index = _build(seed=seed)
+        session = index.session(q)
+        relevant = [int(i) for i in session.relevant]
+        for ladder_index in range(len(index.ladder)):
+            theta_i = index.ladder[ladder_index]
+            column = session.pi_hat_column(ladder_index)
+            neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta_i)
+            for position, gid in enumerate(relevant):
+                assert column[position] >= len(neighborhoods[gid])
+
+    def test_trivial_column_is_relevant_count(self):
+        db, dist, q, index = _build(seed=3)
+        session = index.session(q)
+        column = session.pi_hat_column(None)
+        assert (column == session.relevant.size).all()
+
+    def test_node_relevant_sets_partition_consistently(self):
+        db, dist, q, index = _build(seed=4)
+        session = index.session(q)
+        root_relevant = session.relevant_in(index.tree.root)
+        assert root_relevant == session.relevant_set
+        for node in index.tree.nodes:
+            if node.children:
+                children_union = frozenset().union(
+                    *(session.relevant_in(c) for c in node.children)
+                )
+                assert children_union == session.relevant_in(node)
+
+
+class TestUpdateStepSafety:
+    """Theorems 6–8 decrements must never break greedy correctness."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_multi_seed_argmax_validity_with_updates(self, seed):
+        db, dist, q, index = _build(seed=seed, size=50)
+        theta = 3.0 + (seed % 4) * 1.5
+        result = index.query(q, theta, 6)
+        assert_valid_greedy_trajectory(db, dist, q, theta, result)
+
+    @pytest.mark.parametrize("seed", [0, 3, 6])
+    def test_updates_and_no_updates_both_valid(self, seed):
+        db, dist, q, index = _build(seed=seed, size=50)
+        theta = 5.0
+        with_updates = index.session(q).query(theta, 5, enable_updates=True)
+        without = index.session(q).query(theta, 5, enable_updates=False)
+        assert_valid_greedy_trajectory(db, dist, q, theta, with_updates)
+        assert_valid_greedy_trajectory(db, dist, q, theta, without)
+        assert with_updates.gains[0] == without.gains[0]
+
+    def test_large_theta_exercises_theorem_7_regime(self):
+        """θ above cluster diameters: the batch-decrement path must fire
+        and the trajectory must stay exact."""
+        db, dist, q, index = _build(seed=11, size=50)
+        diameters = [
+            n.diameter for n in index.tree.nodes if not n.is_leaf
+        ]
+        theta = float(np.median(diameters)) + 1.0
+        result = index.query(q, theta, 5)
+        assert_valid_greedy_trajectory(db, dist, q, theta, result)
+
+    def test_tiny_theta_exercises_theorem_6_regime(self):
+        db, dist, q, index = _build(seed=12, size=50)
+        result = index.query(q, 0.5, 5)
+        assert_valid_greedy_trajectory(db, dist, q, 0.5, result)
+
+
+class TestRandomizedTreeEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.5, max_value=12.0),
+    )
+    def test_mtree_range_query_matches_scan(self, seed, theta):
+        db = random_database(seed=seed % 100, size=30)
+        dist = StarDistance()
+        tree = MTree(db.graphs, dist, capacity=4, rng=seed)
+        probe = seed % 30
+        expected = sorted(
+            j for j in range(30)
+            if dist(db[probe], db[j]) <= theta + 1e-9
+        )
+        assert sorted(tree.range_query(probe, theta)) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.5, max_value=12.0),
+    )
+    def test_ctree_range_query_matches_scan(self, seed, theta):
+        db = random_database(seed=seed % 100, size=30)
+        dist = StarDistance()
+        tree = CTree(db.graphs, dist, capacity=4, rng=seed)
+        probe = (seed // 7) % 30
+        expected = sorted(
+            j for j in range(30)
+            if dist(db[probe], db[j]) <= theta + 1e-9
+        )
+        assert sorted(tree.range_query(probe, theta)) == expected

@@ -1,0 +1,127 @@
+"""M-tree and C-tree: range-query exactness and pruning effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Closure, CTree, MTree
+from repro.ged import CountingDistance, StarDistance, size_lower_bound
+from repro.graphs import path_graph
+from tests.conftest import random_database
+
+
+def _truth(db, dist, gid, theta):
+    return sorted(
+        j for j in range(len(db)) if dist(db[gid], db[j]) <= theta + 1e-9
+    )
+
+
+@pytest.mark.parametrize("tree_cls", [MTree, CTree])
+class TestRangeQueryExactness:
+    @pytest.mark.parametrize("seed,theta", [(0, 3.0), (1, 5.0), (2, 8.0)])
+    def test_matches_linear_scan(self, tree_cls, seed, theta):
+        db = random_database(seed=seed, size=50)
+        dist = StarDistance()
+        tree = tree_cls(db.graphs, dist, capacity=6, rng=seed)
+        for gid in range(0, 50, 9):
+            assert sorted(tree.range_query(gid, theta)) == _truth(
+                db, dist, gid, theta
+            )
+
+    def test_external_graph_query(self, tree_cls):
+        db = random_database(seed=3, size=40)
+        dist = StarDistance()
+        tree = tree_cls(db.graphs, dist, capacity=6, rng=0)
+        external = path_graph(["C", "N", "O", "C"])
+        theta = 6.0
+        expected = sorted(
+            j for j in range(40) if dist(external, db[j]) <= theta + 1e-9
+        )
+        assert sorted(tree.range_query_graph(external, theta)) == expected
+
+    def test_zero_theta_returns_duplicates_only(self, tree_cls):
+        db = random_database(seed=4, size=30)
+        dist = StarDistance()
+        tree = tree_cls(db.graphs, dist, capacity=5, rng=0)
+        hits = tree.range_query(7, 0.0)
+        assert 7 in hits
+        for h in hits:
+            assert dist(db[7], db[h]) == 0.0
+
+    def test_capacity_validation(self, tree_cls):
+        db = random_database(seed=5, size=10)
+        with pytest.raises(ValueError):
+            tree_cls(db.graphs, StarDistance(), capacity=1, rng=0)
+
+    def test_empty_rejected(self, tree_cls):
+        with pytest.raises(ValueError):
+            tree_cls([], StarDistance(), capacity=4, rng=0)
+
+    def test_duplicate_graphs_handled(self, tree_cls):
+        graphs = [path_graph(["C", "C"]) for _ in range(15)]
+        for i, g in enumerate(graphs):
+            g.graph_id = i
+        tree = tree_cls(graphs, StarDistance(), capacity=4, rng=0)
+        assert sorted(tree.range_query(0, 0.5)) == list(range(15))
+
+
+class TestPruning:
+    def test_mtree_saves_distance_calls_at_query_time(self):
+        db = random_database(seed=6, size=60)
+        counting = CountingDistance(StarDistance())
+        tree = MTree(db.graphs, counting, capacity=8, rng=0)
+        before = counting.calls
+        tree.range_query(5, 2.0)  # small θ: heavy pruning expected
+        spent = counting.calls - before
+        assert spent < 60
+
+    def test_ctree_closure_bound_validity(self):
+        db = random_database(seed=7, size=30)
+        dist = StarDistance()
+        tree = CTree(db.graphs, dist, capacity=5, rng=0)
+
+        def check(node):
+            for member in _leaf_members(node):
+                for probe in range(0, 30, 7):
+                    lb = node.closure.distance_lower_bound(db[probe])
+                    assert lb <= dist(db[probe], db[member]) + 1e-9
+            for child in node.children:
+                check(child)
+
+        check(tree.root)
+
+
+def _leaf_members(node):
+    if node.is_leaf:
+        return list(node.bucket)
+    out = []
+    for child in node.children:
+        out.extend(_leaf_members(child))
+    return out
+
+
+class TestClosure:
+    def test_of_graph(self):
+        g = path_graph(["C", "C", "O"])
+        closure = Closure.of_graph(g)
+        assert closure.label_max == {"C": 2, "O": 1}
+        assert closure.nodes_lo == closure.nodes_hi == 3
+        assert closure.edges_lo == closure.edges_hi == 2
+
+    def test_union_envelopes(self):
+        a = Closure.of_graph(path_graph(["C", "C"]))
+        b = Closure.of_graph(path_graph(["O", "O", "O"]))
+        union = Closure.union([a, b])
+        assert union.label_max == {"C": 2, "O": 3}
+        assert union.nodes_lo == 2 and union.nodes_hi == 3
+
+    def test_lower_bound_matches_size_bound_for_singleton(self):
+        g = path_graph(["C", "C", "O"])
+        h = path_graph(["N", "N"])
+        closure = Closure.of_graph(g)
+        assert closure.distance_lower_bound(h) == pytest.approx(
+            size_lower_bound(h, g)
+        )
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            Closure.union([])

@@ -1,0 +1,128 @@
+"""NB-Tree construction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.ged import CountingDistance, StarDistance
+from repro.index import NBTree, VantageEmbedding, select_vantage_points
+from repro.graphs import GraphDatabase, path_graph
+from tests.conftest import random_database
+
+
+def _tree(seed=0, size=60, branching=4, with_embedding=True):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    embedding = None
+    if with_embedding:
+        vps = select_vantage_points(db.graphs, 5, rng=seed)
+        embedding = VantageEmbedding(db.graphs, vps, dist)
+    tree = NBTree(db.graphs, dist, embedding, branching=branching, rng=seed)
+    return db, dist, tree
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_validate_clean(self, seed):
+        _, _, tree = _tree(seed=seed)
+        assert tree.validate() == []
+
+    def test_leaves_cover_database(self):
+        _, _, tree = _tree()
+        leaf_ids = sorted(n.graph_index for n in tree.leaves())
+        assert leaf_ids == list(range(60))
+
+    def test_root_members_everything(self):
+        _, _, tree = _tree()
+        assert tree.root.members.size == 60
+
+    def test_children_partition_members(self):
+        _, _, tree = _tree()
+        for node in tree.nodes:
+            if node.children:
+                combined = np.sort(
+                    np.concatenate([c.members for c in node.children])
+                )
+                assert np.array_equal(combined, np.sort(node.members))
+
+    def test_height_reasonable(self):
+        _, _, tree = _tree(branching=4)
+        assert 2 <= tree.height() <= 20
+
+    def test_single_graph_tree(self):
+        g = [path_graph(["C"])]
+        tree = NBTree(g, StarDistance(), None, branching=2, rng=0)
+        assert tree.root.is_leaf
+
+
+class TestGeometry:
+    def test_radius_covers_members(self):
+        db, dist, tree = _tree(seed=3)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            centroid = db[node.centroid]
+            for m in node.members:
+                assert dist(centroid, db[int(m)]) <= node.radius + 1e-9
+
+    def test_diameter_upper_bounds_pairwise(self):
+        db, dist, tree = _tree(seed=4, size=40)
+        rng = np.random.default_rng(0)
+        for node in tree.nodes:
+            if node.is_leaf or node.members.size > 15:
+                continue
+            for _ in range(10):
+                a = int(node.members[rng.integers(node.members.size)])
+                b = int(node.members[rng.integers(node.members.size)])
+                assert dist(db[a], db[b]) <= node.diameter + 1e-9
+
+    def test_leaf_geometry_trivial(self):
+        _, _, tree = _tree()
+        for leaf in tree.leaves():
+            assert leaf.radius == 0.0
+            assert leaf.diameter == 0.0
+            assert leaf.members.size == 1
+
+
+class TestVantageAcceleration:
+    def test_pruning_reduces_exact_distances(self):
+        _, _, plain = _tree(seed=5, with_embedding=False)
+        _, _, accelerated = _tree(seed=5, with_embedding=True)
+        assert accelerated.stats.pruned_by_vantage > 0
+        assert (
+            accelerated.stats.exact_distances
+            < plain.stats.exact_distances + plain.stats.pruned_by_vantage
+        )
+
+    def test_same_structure_regardless_of_acceleration(self):
+        # Pruning must not change assignments: the trees built with and
+        # without the embedding are identical for the same seed.
+        _, _, plain = _tree(seed=6, with_embedding=False)
+        _, _, accelerated = _tree(seed=6, with_embedding=True)
+        assert plain.num_nodes == accelerated.num_nodes
+        for a, b in zip(plain.nodes, accelerated.nodes):
+            assert np.array_equal(a.members, b.members)
+            assert a.centroid == b.centroid
+            assert a.radius == pytest.approx(b.radius)
+            assert a.diameter == pytest.approx(b.diameter)
+
+
+class TestDegenerateInputs:
+    def test_duplicate_graphs_terminate(self):
+        graphs = [path_graph(["C", "C"]) for _ in range(20)]
+        for i, g in enumerate(graphs):
+            g.graph_id = i
+        tree = NBTree(graphs, StarDistance(), None, branching=3, rng=0)
+        assert sorted(n.graph_index for n in tree.leaves()) == list(range(20))
+
+    def test_branching_validation(self):
+        db = random_database(seed=0, size=5)
+        with pytest.raises(ValueError):
+            NBTree(db.graphs, StarDistance(), None, branching=1, rng=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NBTree([], StarDistance(), None, branching=2, rng=0)
+
+    def test_build_stats_fraction(self):
+        _, _, tree = _tree(seed=7)
+        assert 0.0 < tree.stats.exact_fraction <= 1.0

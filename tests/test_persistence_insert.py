@@ -1,0 +1,154 @@
+"""NB-Index persistence (save/load) and incremental insertion."""
+
+import numpy as np
+import pytest
+
+from repro.core import baseline_greedy
+from repro.ged import StarDistance
+from repro.graphs import GraphDatabase, path_graph, quartile_relevance
+from repro.index import NBIndex, load_index, save_index
+from tests.conftest import random_connected_graph, random_database
+from tests.test_nbindex import assert_valid_greedy_trajectory
+
+
+def _build(seed=0, size=50):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=0.3)
+    index = NBIndex.build(db, dist, num_vantage_points=5, branching=4, rng=seed)
+    return db, dist, q, index
+
+
+class TestPersistence:
+    def test_roundtrip_structure(self, tmp_path):
+        db, dist, q, index = _build(seed=1)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path, db, dist)
+        assert loaded.tree.num_nodes == index.tree.num_nodes
+        assert loaded.tree.branching == index.tree.branching
+        assert np.allclose(loaded.embedding.coords, index.embedding.coords)
+        assert list(loaded.ladder) == list(index.ladder)
+        for a, b in zip(index.tree.nodes, loaded.tree.nodes):
+            assert a.centroid == b.centroid
+            assert a.radius == pytest.approx(b.radius)
+            assert a.diameter == pytest.approx(b.diameter)
+            assert np.array_equal(a.members, b.members)
+            assert a.graph_index == b.graph_index
+
+    def test_loaded_index_answers_queries(self, tmp_path):
+        db, dist, q, index = _build(seed=2)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path, db, dist)
+        theta = 5.0
+        original = index.query(q, theta, 4)
+        reloaded = loaded.query(q, theta, 4)
+        assert reloaded.answer == original.answer
+        assert reloaded.gains == original.gains
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        db, dist, q, index = _build(seed=3, size=30)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        other = random_database(seed=99, size=30)
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_index(path, other, dist)
+
+    def test_wrong_size_database_rejected(self, tmp_path):
+        db, dist, q, index = _build(seed=4, size=30)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        smaller = db.subset(range(10))
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_index(path, smaller, dist)
+
+
+class TestInsert:
+    def test_insert_updates_database_and_tree(self):
+        db, dist, q, index = _build(seed=5, size=30)
+        rng = np.random.default_rng(0)
+        new_graph = random_connected_graph(rng, 5)
+        new_id = index.insert(new_graph, np.zeros(db.num_features))
+        assert new_id == 30
+        assert len(db) == 31
+        assert index.tree.root.members.size == 31
+        leaves = sorted(n.graph_index for n in index.tree.nodes if n.is_leaf)
+        assert leaves == list(range(31))
+
+    def test_geometry_stays_valid_after_inserts(self):
+        db, dist, q, index = _build(seed=6, size=25)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            index.insert(
+                random_connected_graph(rng, int(rng.integers(3, 8))),
+                rng.random(db.num_features),
+            )
+        # Radii must still cover members (the invariant Theorems 6-8 use).
+        for node in index.tree.nodes:
+            if node.is_leaf:
+                continue
+            centroid = db[node.centroid]
+            for m in node.members:
+                assert dist(centroid, db[int(m)]) <= node.radius + 1e-9
+
+    def test_queries_remain_valid_greedy_after_inserts(self):
+        db, dist, _, index = _build(seed=7, size=30)
+        rng = np.random.default_rng(2)
+        for _ in range(6):
+            index.insert(
+                random_connected_graph(rng, int(rng.integers(3, 8))),
+                rng.random(db.num_features),
+            )
+        q = quartile_relevance(db, quantile=0.3)
+        theta = 5.0
+        result = index.query(q, theta, 4)
+        assert_valid_greedy_trajectory(db, dist, q, theta, result)
+        expected = baseline_greedy(db, dist, q, theta, 4)
+        assert result.gains[0] == expected.gains[0]
+
+    def test_inserted_graph_is_findable(self):
+        """A new graph that duplicates an existing cluster member must be
+        retrievable as part of neighborhoods."""
+        db, dist, _, index = _build(seed=8, size=20)
+        clone = GraphDatabase._copy_graph(db[0])
+        high = np.full(db.num_features, 10.0)  # certainly relevant
+        new_id = index.insert(clone, high)
+        q = quartile_relevance(db, quantile=0.5)
+        result = index.query(q, 1e-6, k=len(db))
+        assert new_id in result.covered
+
+    def test_single_graph_root_grows(self):
+        graphs = [path_graph(["C", "C"])]
+        db = GraphDatabase(graphs, np.zeros((1, 1)))
+        dist = StarDistance()
+        index = NBIndex.build(db, dist, num_vantage_points=1, branching=2, rng=0)
+        assert index.tree.root.is_leaf
+        index.insert(path_graph(["C", "N"]), [1.0])
+        assert not index.tree.root.is_leaf
+        assert index.tree.root.members.size == 2
+
+    def test_feature_dim_mismatch_rejected(self):
+        db, dist, _, index = _build(seed=9, size=15)
+        with pytest.raises(ValueError, match="dims"):
+            index.insert(path_graph(["C"]), [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_save_load_after_inserts(self, tmp_path):
+        """Persistence must capture the post-insert tree exactly."""
+        db, dist, q, index = _build(seed=10, size=25)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            index.insert(
+                random_connected_graph(rng, int(rng.integers(3, 7))),
+                rng.random(db.num_features),
+            )
+        path = tmp_path / "inserted.npz"
+        save_index(index, path)
+        loaded = load_index(path, db, dist)
+        assert loaded.tree.num_nodes == index.tree.num_nodes
+        for a, b in zip(index.tree.nodes, loaded.tree.nodes):
+            assert np.array_equal(np.sort(a.members), b.members)
+            assert a.radius == pytest.approx(b.radius)
+        original = index.query(q, 5.0, 3)
+        reloaded = loaded.query(q, 5.0, 3)
+        assert reloaded.answer == original.answer

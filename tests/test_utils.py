@@ -1,0 +1,90 @@
+"""Utility modules: rng plumbing, timing, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Stopwatch,
+    ensure_rng,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    timed,
+)
+from repro.utils.rng import spawn
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(7).integers(1000) == ensure_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_children_independent_and_deterministic(self):
+        a = spawn(np.random.default_rng(3), 3)
+        b = spawn(np.random.default_rng(3), 3)
+        for ga, gb in zip(a, b):
+            assert ga.integers(10**6) == gb.integers(10**6)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure():
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw.measure():
+            time.sleep(0.01)
+        assert sw.elapsed > first
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_timed_context(self):
+        with timed() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_in_range(self):
+        require_in_range(5, 0, 10, "x")
+        with pytest.raises(ValueError):
+            require_in_range(11, 0, 10, "x")

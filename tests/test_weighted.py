@@ -1,0 +1,99 @@
+"""Weighted representative power: guarantee and semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_theta_neighborhoods,
+    baseline_greedy,
+    weighted_coverage,
+    weighted_greedy,
+    weighted_optimal,
+)
+from repro.ged import StarDistance
+from repro.graphs import quartile_relevance
+from tests.conftest import random_database
+
+
+def _setup(seed=0, size=40):
+    db = random_database(seed=seed, size=size)
+    dist = StarDistance()
+    q = quartile_relevance(db, quantile=0.3)
+    return db, dist, q
+
+
+class TestReducesToUnweighted:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_unit_weights_match_baseline(self, seed):
+        db, dist, q = _setup(seed=seed)
+        theta, k = 5.0, 5
+        plain = baseline_greedy(db, dist, q, theta, k)
+        weighted = weighted_greedy(db, dist, q, theta, k, weights=None)
+        assert weighted.answer == plain.answer
+        assert [int(g) for g in weighted.gains] == plain.gains
+
+    def test_explicit_unit_vector_matches(self):
+        db, dist, q = _setup(seed=3)
+        plain = baseline_greedy(db, dist, q, 5.0, 4)
+        ones = weighted_greedy(db, dist, q, 5.0, 4, weights=np.ones(len(db)))
+        assert ones.answer == plain.answer
+
+
+class TestWeightingChangesSelection:
+    def test_heavy_weight_attracts_selection(self):
+        db, dist, q = _setup(seed=4)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        theta = 5.0
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+        # Make one otherwise-unremarkable graph enormously important.
+        plain = weighted_greedy(db, dist, q, theta, 1)
+        vip = relevant[-1]
+        weights = {vip: 1000.0}
+        boosted = weighted_greedy(db, dist, q, theta, 1, weights=weights)
+        assert vip in neighborhoods[boosted.answer[0]]
+        # The unweighted pick need not cover the VIP.
+        if vip not in neighborhoods[plain.answer[0]]:
+            assert boosted.answer != plain.answer
+
+    def test_zero_weight_graphs_add_nothing(self):
+        db, dist, q = _setup(seed=5)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        weights = {gid: 0.0 for gid in relevant}
+        result = weighted_greedy(db, dist, q, 5.0, 3, weights=weights)
+        assert all(g == 0.0 for g in result.gains)
+
+
+class TestGuarantee:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_weighted_greedy_vs_weighted_optimum(self, seed, k):
+        db, dist, q = _setup(seed=seed % 7, size=18)
+        theta = 5.0
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        rng = np.random.default_rng(seed)
+        weights = {gid: float(rng.integers(1, 10)) for gid in relevant}
+        neighborhoods = all_theta_neighborhoods(db, dist, relevant, theta)
+
+        result = weighted_greedy(db, dist, q, theta, k, weights=weights)
+        achieved = weighted_coverage(neighborhoods, result.answer, weights)
+        _, optimal = weighted_optimal(neighborhoods, relevant, weights, k)
+        assert achieved >= (1 - 1 / np.e) * optimal - 1e-9
+        assert achieved == pytest.approx(sum(result.gains))
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        db, dist, q = _setup(seed=6, size=15)
+        relevant = [int(i) for i in db.relevant_indices(q)]
+        with pytest.raises(ValueError, match="negative"):
+            weighted_greedy(db, dist, q, 5.0, 2, weights={relevant[0]: -1.0})
+
+    def test_wrong_length_vector_rejected(self):
+        db, dist, q = _setup(seed=7, size=15)
+        with pytest.raises(ValueError, match="length"):
+            weighted_greedy(db, dist, q, 5.0, 2, weights=np.ones(3))

@@ -1,0 +1,111 @@
+"""Weisfeiler–Lehman fingerprints: invariance and discrimination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ged import ExactGED, StarDistance
+from repro.graphs import LabeledGraph, cycle_graph, path_graph, star_graph
+from repro.graphs.wl import deduplicate, wl_hash, wl_node_colors
+from tests.conftest import random_connected_graph
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hash_invariant_under_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(rng, int(rng.integers(3, 9)))
+        permutation = rng.permutation(g.num_nodes)
+        assert wl_hash(g) == wl_hash(g.permuted(permutation))
+
+    def test_star_distance_invariant_under_permutation(self):
+        rng = np.random.default_rng(3)
+        sd = StarDistance()
+        g = random_connected_graph(rng, 7)
+        h = random_connected_graph(rng, 6)
+        g2 = g.permuted(rng.permutation(7))
+        assert sd(g, h) == pytest.approx(sd(g2, h))
+
+    def test_exact_ged_zero_for_permuted(self):
+        rng = np.random.default_rng(4)
+        g = random_connected_graph(rng, 5)
+        g2 = g.permuted(rng.permutation(5))
+        assert ExactGED()(g, g2) == 0.0
+
+
+class TestDiscrimination:
+    def test_different_labels_differ(self):
+        assert wl_hash(path_graph(["C", "C"])) != wl_hash(path_graph(["C", "N"]))
+
+    def test_different_topology_differs(self):
+        a = star_graph("C", ["C", "C", "C"])
+        b = path_graph(["C", "C", "C", "C"])
+        assert wl_hash(a) != wl_hash(b)
+
+    def test_edge_labels_matter(self):
+        a = LabeledGraph(["C", "C"], [(0, 1, "-")])
+        b = LabeledGraph(["C", "C"], [(0, 1, "=")])
+        assert wl_hash(a) != wl_hash(b)
+
+    def test_size_matters(self):
+        assert wl_hash(cycle_graph(["C"] * 4)) != wl_hash(cycle_graph(["C"] * 5))
+
+    def test_node_colors_distinguish_roles(self):
+        g = star_graph("C", ["C", "C"])
+        colors = wl_node_colors(g, iterations=1)
+        assert colors[0] != colors[1]
+        assert colors[1] == colors[2]
+
+    def test_zero_iterations_is_label_histogram(self):
+        a = LabeledGraph(["C", "N"], [(0, 1)])
+        b = LabeledGraph(["N", "C"])  # same labels, no edge
+        assert wl_node_colors(a, 0) != wl_node_colors(b, 0) or True
+        # colors at 0 iterations depend only on labels:
+        assert sorted(wl_node_colors(a, 0)) == sorted(wl_node_colors(b, 0))
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            wl_node_colors(path_graph(["C"]), -1)
+
+
+class TestDeduplicate:
+    def test_buckets_duplicates_together(self):
+        rng = np.random.default_rng(5)
+        g = random_connected_graph(rng, 6)
+        twin = g.permuted(rng.permutation(6))
+        other = random_connected_graph(rng, 6)
+        buckets = deduplicate([g, twin, other])
+        bucket_of_g = next(b for b in buckets.values() if 0 in b)
+        assert 1 in bucket_of_g
+
+    def test_hash_equality_necessary_for_ged_zero(self):
+        """GED = 0 ⟹ isomorphic ⟹ equal WL hash (the dedup soundness)."""
+        rng = np.random.default_rng(6)
+        ged = ExactGED()
+        graphs = [random_connected_graph(rng, 4) for _ in range(8)]
+        for i in range(len(graphs)):
+            for j in range(i + 1, len(graphs)):
+                if ged(graphs[i], graphs[j]) == 0.0:
+                    assert wl_hash(graphs[i]) == wl_hash(graphs[j])
+
+
+class TestPermutedHelper:
+    def test_identity_permutation(self):
+        g = path_graph(["C", "N", "O"])
+        assert g.permuted([0, 1, 2]) == g
+
+    def test_non_bijection_rejected(self):
+        g = path_graph(["C", "N"])
+        with pytest.raises(ValueError, match="bijection"):
+            g.permuted([0, 0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_permuted_preserves_structure_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(rng, int(rng.integers(2, 8)))
+        p = g.permuted(rng.permutation(g.num_nodes))
+        assert p.num_nodes == g.num_nodes
+        assert p.num_edges == g.num_edges
+        assert sorted(p.node_labels) == sorted(g.node_labels)
