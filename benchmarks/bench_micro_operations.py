@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.ged import ExactGED, StarDistance
-from repro.index import select_vantage_points
 
 
 @pytest.fixture(scope="module")

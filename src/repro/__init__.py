@@ -27,6 +27,7 @@ from repro.core import (
     baseline_greedy,
     lazy_greedy,
 )
+from repro.engine import DistanceEngine, resolve_workers
 from repro.ged import ExactGED, StarDistance
 from repro.graphs import (
     GraphDatabase,
@@ -43,6 +44,8 @@ __all__ = [
     "quartile_relevance",
     "ExactGED",
     "StarDistance",
+    "DistanceEngine",
+    "resolve_workers",
     "NBIndex",
     "QuerySession",
     "QueryResult",

@@ -61,16 +61,25 @@ def sample_distances(
     distance: GraphDistanceFn,
     num_pairs: int = 2000,
     rng=None,
+    engine=None,
 ) -> DistanceDistribution:
-    """Sample uniformly random distinct pairs and their distances."""
+    """Sample uniformly random distinct pairs and their distances.
+
+    Pairs are drawn first (the draw sequence matches the historical
+    interleaved loop), so an ``engine`` can evaluate them as one batch
+    with identical samples.
+    """
     require(len(database) >= 2, "need at least two graphs")
+    from repro.index.pivec import sample_distinct_pairs
+
     rng = ensure_rng(rng)
-    n = len(database)
-    samples = np.empty(num_pairs)
-    for t in range(num_pairs):
-        i = int(rng.integers(n))
-        j = int(rng.integers(n))
-        while j == i:
-            j = int(rng.integers(n))
-        samples[t] = distance(database[i], database[j])
+    pairs = sample_distinct_pairs(len(database), num_pairs, rng)
+    if engine is not None:
+        samples = np.asarray(
+            engine.pairs([(database[i], database[j]) for i, j in pairs])
+        )
+    else:
+        samples = np.array(
+            [float(distance(database[i], database[j])) for i, j in pairs]
+        )
     return DistanceDistribution(samples)

@@ -101,7 +101,12 @@ class CTreeNode:
 
 
 class CTree:
-    """Closure-tree over a graph collection, supporting range queries."""
+    """Closure-tree over a graph collection, supporting range queries.
+
+    Pass an ``engine`` (:class:`~repro.engine.DistanceEngine`) to run the
+    bulk-load's per-pivot member scans as batches; the tree and the
+    ``distance_calls`` accounting are identical.
+    """
 
     def __init__(
         self,
@@ -109,11 +114,13 @@ class CTree:
         distance: GraphDistanceFn,
         capacity: int = 16,
         rng=None,
+        engine=None,
     ):
         require(capacity >= 2, f"capacity must be >= 2, got {capacity}")
         require(len(graphs) > 0, "cannot index an empty collection")
         self._graphs = graphs
         self._distance = distance
+        self._engine = engine
         self.capacity = capacity
         self.distance_calls = 0
         rng = ensure_rng(rng)
@@ -121,7 +128,28 @@ class CTree:
 
     def _d(self, g: LabeledGraph, j: int) -> float:
         self.distance_calls += 1
+        if self._engine is not None:
+            return float(self._engine(g, self._graphs[j]))
         return float(self._distance(g, self._graphs[j]))
+
+    def _scan(self, source: int, members: list[int]) -> np.ndarray:
+        """``d(source, m)`` per member, 0.0 at ``source`` itself."""
+        source_graph = self._graphs[source]
+        if self._engine is None:
+            return np.array(
+                [0.0 if m == source else self._d(source_graph, m)
+                 for m in members]
+            )
+        others = [m for m in members if m != source]
+        self.distance_calls += len(others)
+        values = iter(
+            self._engine.one_to_many(
+                source_graph, [self._graphs[m] for m in others]
+            )
+        )
+        return np.array(
+            [0.0 if m == source else float(next(values)) for m in members]
+        )
 
     def _build(self, members: list[int], rng) -> CTreeNode:
         if len(members) <= self.capacity:
@@ -131,27 +159,19 @@ class CTree:
             return CTreeNode(closure=closure, bucket=list(members))
         first = members[int(rng.integers(len(members)))]
         pivots = [first]
-        first_graph = self._graphs[first]
-        min_dist = np.array(
-            [0.0 if m == first else self._d(first_graph, m) for m in members]
-        )
+        min_dist = self._scan(first, members)
         while len(pivots) < self.capacity and min_dist.max() > 0.0:
             farthest = members[int(np.argmax(min_dist))]
             if farthest in pivots:
                 break
             pivots.append(farthest)
-            pivot_graph = self._graphs[farthest]
-            dist_new = np.array(
-                [0.0 if m == farthest else self._d(pivot_graph, m) for m in members]
-            )
-            np.minimum(min_dist, dist_new, out=min_dist)
+            np.minimum(min_dist, self._scan(farthest, members), out=min_dist)
+        # min() over pivots == argmin over the pivot-order distance rows
+        # (both resolve ties to the first minimal pivot).
+        pivot_rows = np.stack([self._scan(p, members) for p in pivots])
         assignment: dict[int, list[int]] = {p: [] for p in pivots}
-        for index, m in enumerate(members):
-            graph = self._graphs[m]
-            best_pivot = min(
-                pivots, key=lambda p: 0.0 if p == m else self._d(graph, p)
-            )
-            assignment[best_pivot].append(m)
+        for column, m in enumerate(members):
+            assignment[pivots[int(np.argmin(pivot_rows[:, column]))]].append(m)
         children = []
         for pivot in pivots:
             group = assignment[pivot]

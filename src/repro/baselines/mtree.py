@@ -56,6 +56,10 @@ class MTree:
         The metric.
     capacity:
         Leaf bucket size and internal fan-out.
+    engine:
+        Optional :class:`~repro.engine.DistanceEngine`; the bulk-load's
+        per-pivot member scans then run as batches.  The tree and
+        ``distance_calls`` accounting are identical.
     """
 
     def __init__(
@@ -64,11 +68,13 @@ class MTree:
         distance: GraphDistanceFn,
         capacity: int = 16,
         rng=None,
+        engine=None,
     ):
         require(capacity >= 2, f"capacity must be >= 2, got {capacity}")
         require(len(graphs) > 0, "cannot index an empty collection")
         self._graphs = graphs
         self._distance = distance
+        self._engine = engine
         self.capacity = capacity
         self.distance_calls = 0
         rng = ensure_rng(rng)
@@ -76,15 +82,36 @@ class MTree:
 
     def _d(self, i: int, j: int) -> float:
         self.distance_calls += 1
+        if self._engine is not None:
+            return float(self._engine(self._graphs[i], self._graphs[j]))
         return float(self._distance(self._graphs[i], self._graphs[j]))
+
+    def _scan(self, source: int, members: list[int]) -> np.ndarray:
+        """``d(source, m)`` per member, 0.0 at ``source`` itself.
+
+        Through the engine this is one batch; ``distance_calls`` advances
+        by the same per-pair count as the serial scan.
+        """
+        if self._engine is None:
+            return np.array(
+                [0.0 if m == source else self._d(source, m) for m in members]
+            )
+        others = [m for m in members if m != source]
+        self.distance_calls += len(others)
+        values = iter(
+            self._engine.one_to_many(
+                self._graphs[source], [self._graphs[m] for m in others]
+            )
+        )
+        return np.array(
+            [0.0 if m == source else float(next(values)) for m in members]
+        )
 
     def _build(self, members: list[int], rng, parent: int | None) -> MTreeNode:
         routing = members[int(rng.integers(len(members)))]
         parent_distance = self._d(routing, parent) if parent is not None else 0.0
         if len(members) <= self.capacity:
-            bucket_distances = [
-                0.0 if m == routing else self._d(routing, m) for m in members
-            ]
+            bucket_distances = [float(d) for d in self._scan(routing, members)]
             return MTreeNode(
                 routing=routing,
                 radius=max(bucket_distances),
@@ -94,24 +121,20 @@ class MTree:
             )
         # Farthest-first routing objects for the children.
         pivots = [routing]
-        min_dist = np.array([self._d(routing, m) if m != routing else 0.0
-                             for m in members])
+        min_dist = self._scan(routing, members)
         while len(pivots) < self.capacity and min_dist.max() > 0.0:
             farthest = members[int(np.argmax(min_dist))]
             if farthest in pivots:
                 break
             pivots.append(farthest)
-            dist_new = np.array([self._d(farthest, m) if m != farthest else 0.0
-                                 for m in members])
-            np.minimum(min_dist, dist_new, out=min_dist)
+            np.minimum(min_dist, self._scan(farthest, members), out=min_dist)
 
+        # min() over pivots == argmin over the pivot-order distance rows
+        # (both resolve ties to the first minimal pivot).
+        pivot_rows = np.stack([self._scan(p, members) for p in pivots])
         assignment: dict[int, list[int]] = {p: [] for p in pivots}
-        for m in members:
-            best_pivot = min(
-                pivots,
-                key=lambda p: 0.0 if p == m else self._d(p, m),
-            )
-            assignment[best_pivot].append(m)
+        for column, m in enumerate(members):
+            assignment[pivots[int(np.argmin(pivot_rows[:, column]))]].append(m)
 
         children = []
         for pivot in pivots:
@@ -120,9 +143,7 @@ class MTree:
                 continue
             if len(group) == len(members):
                 # Degenerate split (identical objects): stop recursing.
-                bucket_distances = [
-                    0.0 if m == pivot else self._d(pivot, m) for m in group
-                ]
+                bucket_distances = [float(d) for d in self._scan(pivot, group)]
                 children.append(
                     MTreeNode(
                         routing=pivot,

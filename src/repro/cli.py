@@ -70,7 +70,7 @@ def cmd_build_index(args) -> int:
     index = NBIndex.build(
         database, StarDistance(),
         num_vantage_points=args.vantage_points, branching=args.branching,
-        rng=args.seed,
+        rng=args.seed, workers=args.workers,
     )
     save_index(index, args.output)
     print(
@@ -99,15 +99,23 @@ def cmd_query(args) -> int:
 
     if args.method == "greedy":
         from repro.core import baseline_greedy
+        from repro.engine import DistanceEngine
 
-        result = baseline_greedy(database, distance, q, theta, args.k)
+        engine = DistanceEngine(
+            distance, workers=args.workers, graphs=database.graphs
+        )
+        result = baseline_greedy(
+            database, distance, q, theta, args.k, engine=engine
+        )
     else:
         if args.index:
-            index = load_index(args.index, database, distance)
+            index = load_index(
+                args.index, database, distance, workers=args.workers
+            )
         else:
             index = NBIndex.build(
                 database, distance, num_vantage_points=args.vantage_points,
-                branching=args.branching, rng=args.seed,
+                branching=args.branching, rng=args.seed, workers=args.workers,
             )
         result = index.query(q, theta, args.k)
 
@@ -240,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vantage-points", type=int, default=20)
     p.add_argument("--branching", type=int, default=8)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="distance-engine processes (default: "
+                        "$REPRO_ENGINE_WORKERS or serial)")
     p.set_defaults(func=cmd_build_index)
 
     p = subparsers.add_parser("query", help="run a top-k representative query")
@@ -256,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vantage-points", type=int, default=20)
     p.add_argument("--branching", type=int, default=8)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="distance-engine processes (default: "
+                        "$REPRO_ENGINE_WORKERS or serial)")
     p.set_defaults(func=cmd_query)
 
     p = subparsers.add_parser("experiment", help="run a paper experiment driver")

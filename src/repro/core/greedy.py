@@ -34,6 +34,7 @@ def baseline_greedy(
     k: int,
     range_query: RangeQueryFn | None = None,
     stop_on_zero_gain: bool = False,
+    engine=None,
 ) -> QueryResult:
     """Run Algorithm 1.
 
@@ -52,16 +53,22 @@ def baseline_greedy(
         End early once no graph adds coverage (the paper's Algorithm 1
         always runs k iterations; this switch is for analyses that prefer
         minimal answer sets).
+    engine:
+        Optional :class:`~repro.engine.DistanceEngine`; the O(|L_q|²)
+        neighborhood materialization then runs as row batches.  The
+        selected answer, gains and coverage are identical.
     """
     require_positive(theta, "theta")
     require_positive(k, "k")
     stats = QueryStats()
-    counting = CountingDistance(distance)
+    counting = engine if engine is not None else CountingDistance(distance)
+    calls_before = counting.calls
 
     started = time.perf_counter()
     relevant = [int(i) for i in database.relevant_indices(query_fn)]
     neighborhoods = all_theta_neighborhoods(
-        database, counting, relevant, theta, range_query=range_query
+        database, counting, relevant, theta, range_query=range_query,
+        engine=engine,
     )
     stats.init_seconds = time.perf_counter() - started
     stats.exact_neighborhoods = len(neighborhoods)
@@ -89,7 +96,7 @@ def baseline_greedy(
         covered |= neighborhoods[best]
         remaining.discard(best)
     stats.search_seconds = time.perf_counter() - started
-    stats.distance_calls = counting.calls
+    stats.distance_calls = counting.calls - calls_before
 
     return QueryResult(
         answer=answer,
@@ -109,6 +116,7 @@ def lazy_greedy(
     k: int,
     range_query: RangeQueryFn | None = None,
     stop_on_zero_gain: bool = False,
+    engine=None,
 ) -> QueryResult:
     """Index-free lazy greedy — Algorithm 1 with a max-heap of stale gains.
 
@@ -122,12 +130,14 @@ def lazy_greedy(
     require_positive(theta, "theta")
     require_positive(k, "k")
     stats = QueryStats()
-    counting = CountingDistance(distance)
+    counting = engine if engine is not None else CountingDistance(distance)
+    calls_before = counting.calls
 
     started = time.perf_counter()
     relevant = [int(i) for i in database.relevant_indices(query_fn)]
     neighborhoods = all_theta_neighborhoods(
-        database, counting, relevant, theta, range_query=range_query
+        database, counting, relevant, theta, range_query=range_query,
+        engine=engine,
     )
     stats.init_seconds = time.perf_counter() - started
 
@@ -154,7 +164,7 @@ def lazy_greedy(
         covered |= neighborhoods[gid]
         generation += 1
     stats.search_seconds = time.perf_counter() - started
-    stats.distance_calls = counting.calls
+    stats.distance_calls = counting.calls - calls_before
 
     return QueryResult(
         answer=answer,

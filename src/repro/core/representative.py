@@ -46,6 +46,7 @@ def all_theta_neighborhoods(
     relevant: Sequence[int],
     theta: float,
     range_query: RangeQueryFn | None = None,
+    engine=None,
 ) -> dict[int, frozenset[int]]:
     """θ-neighborhoods of every relevant graph.
 
@@ -53,7 +54,9 @@ def all_theta_neighborhoods(
     paper's pseudocode run over these sets).  When ``range_query`` is
     given — e.g. an M-tree or C-tree range search — candidates come from
     the backend and only they are distance-verified; otherwise all
-    ``O(|L_q|²)`` pairs are evaluated (symmetrically, each pair once).
+    ``O(|L_q|²)`` pairs are evaluated (symmetrically, each pair once) —
+    as row batches through ``engine`` when one is supplied, producing the
+    same membership sets.
     """
     relevant = [int(i) for i in relevant]
     neighborhoods: dict[int, set[int]] = {gid: {gid} for gid in relevant}
@@ -64,6 +67,20 @@ def all_theta_neighborhoods(
                 candidate = int(candidate)
                 if candidate in relevant_set:
                     neighborhoods[gid].add(candidate)
+        return {gid: frozenset(members) for gid, members in neighborhoods.items()}
+    if engine is not None:
+        attached = engine.graphs is database.graphs
+        for a_pos, gid in enumerate(relevant):
+            rest = relevant[a_pos + 1:]
+            if not rest:
+                break
+            refs = rest if attached else [database[other] for other in rest]
+            source = gid if attached else database[gid]
+            mask = engine.within(source, refs, theta)
+            for other, within in zip(rest, mask):
+                if within:
+                    neighborhoods[gid].add(other)
+                    neighborhoods[other].add(gid)
         return {gid: frozenset(members) for gid, members in neighborhoods.items()}
     for a_pos, gid in enumerate(relevant):
         graph = database[gid]

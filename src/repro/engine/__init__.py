@@ -1,0 +1,16 @@
+"""Batch distance engine: pooled, prefiltered, cached GED evaluation."""
+
+from repro.engine.core import DistanceEngine, resolve_workers
+from repro.engine.starbatch import (
+    BatchStarEvaluator,
+    batch_evaluator_for,
+    unwrap_distance,
+)
+
+__all__ = [
+    "DistanceEngine",
+    "resolve_workers",
+    "BatchStarEvaluator",
+    "batch_evaluator_for",
+    "unwrap_distance",
+]

@@ -1,0 +1,426 @@
+"""The batch distance engine.
+
+:class:`DistanceEngine` is the single component every distance-hungry code
+path goes through: index construction (``|V| · n`` vantage distances,
+NB-Tree pivot scans), the baseline greedy's O(|L_q|²) neighborhood
+materialization, candidate verification, and full ``matrix`` builds.  It
+layers three cross-cutting accelerations over any ``(g, g) → float``
+metric, none of which changes a single output bit:
+
+1. **Batching** — :meth:`one_to_many`, :meth:`pairs` and :meth:`matrix`
+   evaluate whole blocks at once.  For the star metric an in-process
+   vectorized evaluator (:mod:`repro.engine.starbatch`) amortizes the
+   per-pair setup; for ``workers > 1`` the blocks additionally fan out
+   over a lazily created ``multiprocessing`` pool in deterministic,
+   order-preserving chunks.  ``workers=1`` (the default) never touches
+   process machinery — the serial fallback is always available.
+2. **Lipschitz prefiltering** — with a :class:`VantageEmbedding` attached,
+   :meth:`within` answers threshold queries from the coordinate matrix
+   first: candidates whose vantage lower bound exceeds θ are rejected and
+   candidates whose vantage upper bound is within θ are accepted, both
+   without paying for a real edit distance (Theorem 4 both ways).
+3. **Shared caching** — a symmetric pair cache (same keying as
+   :class:`~repro.ged.metric.CachingDistance`) spans every consumer, so a
+   distance computed during the tree build is free during θ-refinements.
+   :meth:`stats` reports evaluations / hits / prefilter activity in the
+   same shape as the counting wrappers, and the engine itself is a plain
+   ``GraphDistanceFn`` so it can slot in anywhere a distance is expected.
+
+Worker count resolution: an explicit ``workers`` argument wins, then the
+``REPRO_ENGINE_WORKERS`` environment variable, then serial.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.ged.metric import _pair_key
+from repro.graphs.graph import LabeledGraph
+from repro.utils.validation import require
+
+_EPS = 1e-9
+
+#: Below this many pending evaluations a parallel engine stays in-process:
+#: pool latency would dominate the chunk compute time.
+DEFAULT_PARALLEL_THRESHOLD = 16
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit argument > ``REPRO_ENGINE_WORKERS`` env var > serial."""
+    if workers is None:
+        env = os.environ.get("REPRO_ENGINE_WORKERS", "").strip()
+        if env:
+            require(
+                env.lstrip("+-").isdigit(),
+                f"REPRO_ENGINE_WORKERS must be an integer, got {env!r}",
+            )
+        workers = int(env) if env else 1
+    workers = int(workers)
+    require(workers >= 1, f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class DistanceEngine:
+    """Batched, prefiltered, cached distance evaluation over a metric.
+
+    Parameters
+    ----------
+    distance:
+        The underlying metric ``(LabeledGraph, LabeledGraph) → float``.
+    workers:
+        Process count for batch fan-out; ``None`` reads
+        ``REPRO_ENGINE_WORKERS`` and defaults to 1 (serial, no pool ever
+        created).  Results are identical for every worker count.
+    chunk_size:
+        Pairs per worker task; ``None`` sizes chunks to ~4 tasks/worker.
+    graphs:
+        Optional graph list (usually ``database.graphs``).  Integer
+        arguments to the batch methods then index into it, and worker
+        payloads ship indices instead of pickled graphs.
+    embedding:
+        Optional :class:`~repro.index.vantage.VantageEmbedding` over
+        ``graphs`` enabling the :meth:`within` prefilter; attach later via
+        :meth:`attach_embedding` once built.
+    respect_cpu_count:
+        When true (the default) the pool is sized to
+        ``min(workers, os.cpu_count())`` — extra processes beyond the
+        machine's cores only add dispatch overhead, so on a single-core
+        host any ``workers`` value degrades to the in-process fast path.
+        Tests that must exercise the pool regardless pass ``False``.
+    """
+
+    def __init__(
+        self,
+        distance,
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        graphs: Sequence[LabeledGraph] | None = None,
+        embedding=None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        respect_cpu_count: bool = True,
+    ):
+        from repro.engine.starbatch import batch_evaluator_for, unwrap_distance
+
+        self.inner = distance
+        self.workers = resolve_workers(workers)
+        self.pool_workers = (
+            min(self.workers, os.cpu_count() or 1)
+            if respect_cpu_count else self.workers
+        )
+        self.chunk_size = chunk_size
+        self.parallel_threshold = max(1, int(parallel_threshold))
+        self._graphs = graphs  # live reference: inserts stay visible
+        self._embedding = embedding
+        self._base_distance = unwrap_distance(distance)
+        self._evaluator = batch_evaluator_for(distance)
+        self._pool = None
+        self._cache: dict[tuple, float] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Stats & lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the counters (the cache itself is kept)."""
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.parallel_batches = 0
+        self.prefilter_lower_rejections = 0
+        self.prefilter_upper_accepts = 0
+
+    @property
+    def calls(self) -> int:
+        """Distinct evaluations — drop-in for ``CountingDistance.calls``."""
+        return self.evaluations
+
+    def stats(self) -> dict:
+        """Counters in the same shape as the counting/caching wrappers."""
+        lookups = self.cache_hits + self.evaluations
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.evaluations,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "cache_size": len(self._cache),
+            "batches": self.batches,
+            "parallel_batches": self.parallel_batches,
+            "prefilter_lower_rejections": self.prefilter_lower_rejections,
+            "prefilter_upper_accepts": self.prefilter_upper_accepts,
+            "workers": self.workers,
+            "pool_workers": self.pool_workers,
+        }
+
+    @property
+    def graphs(self):
+        """The attached graph list (live reference), or ``None``."""
+        return self._graphs
+
+    def attach_embedding(self, embedding) -> None:
+        """Enable vantage prefiltering (coords rows must match ``graphs``)."""
+        self._embedding = embedding
+
+    def invalidate_pool(self) -> None:
+        """Tear down the worker pool (e.g. after the graph list grew);
+        the next parallel batch rebuilds it against the current graphs."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    close = invalidate_pool
+
+    def __enter__(self) -> "DistanceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown ordering
+        try:
+            self.invalidate_pool()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceEngine(workers={self.workers}, "
+            f"evaluations={self.evaluations}, cache={len(self._cache)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Reference resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, ref) -> LabeledGraph:
+        if isinstance(ref, (int, np.integer)):
+            require(
+                self._graphs is not None,
+                "integer graph references require an attached graph list",
+            )
+            return self._graphs[int(ref)]
+        return ref
+
+    @staticmethod
+    def _encode(ref):
+        """Payload form of a graph reference: plain int or the graph."""
+        if isinstance(ref, (int, np.integer)):
+            return int(ref)
+        return ref
+
+    # ------------------------------------------------------------------
+    # Single-pair path (GraphDistanceFn protocol)
+    # ------------------------------------------------------------------
+    def __call__(self, g1, g2) -> float:
+        a, b = self._resolve(g1), self._resolve(g2)
+        key = _pair_key(a, b)
+        value = self._cache.get(key)
+        if value is not None:
+            self.cache_hits += 1
+            return value
+        self.evaluations += 1
+        if self._evaluator is not None:
+            value = float(self._evaluator.one_to_many(a, [b])[0])
+        else:
+            value = float(self.inner(a, b))
+        self._cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def one_to_many(self, source, targets) -> np.ndarray:
+        """``d(source, t)`` for every target, cache-aware, one batch."""
+        targets = list(targets)
+        out = np.empty(len(targets), dtype=np.float64)
+        if not targets:
+            return out
+        source_graph = self._resolve(source)
+        miss_positions: dict[tuple, list[int]] = {}
+        miss_refs: list = []
+        for position, ref in enumerate(targets):
+            graph = self._resolve(ref)
+            key = _pair_key(source_graph, graph)
+            value = self._cache.get(key)
+            if value is not None:
+                self.cache_hits += 1
+                out[position] = value
+            elif key in miss_positions:
+                self.cache_hits += 1  # duplicate within the batch
+                miss_positions[key].append(position)
+            else:
+                miss_positions[key] = [position]
+                miss_refs.append((ref, graph))
+        if miss_refs:
+            values = self._evaluate_one_to_many(source, source_graph, miss_refs)
+            for (key, positions), value in zip(miss_positions.items(), values):
+                value = float(value)
+                self._cache[key] = value
+                for position in positions:
+                    out[position] = value
+        return out
+
+    def pairs(self, pairlist) -> np.ndarray:
+        """Distances for an explicit ``[(a, b), ...]`` list of pairs."""
+        pairlist = list(pairlist)
+        out = np.empty(len(pairlist), dtype=np.float64)
+        miss_positions: dict[tuple, list[int]] = {}
+        miss_refs: list = []
+        for position, (ref_a, ref_b) in enumerate(pairlist):
+            a, b = self._resolve(ref_a), self._resolve(ref_b)
+            key = _pair_key(a, b)
+            value = self._cache.get(key)
+            if value is not None:
+                self.cache_hits += 1
+                out[position] = value
+            elif key in miss_positions:
+                self.cache_hits += 1
+                miss_positions[key].append(position)
+            else:
+                miss_positions[key] = [position]
+                miss_refs.append(((ref_a, a), (ref_b, b)))
+        if miss_refs:
+            values = self._evaluate_pairs(miss_refs)
+            for (key, positions), value in zip(miss_positions.items(), values):
+                value = float(value)
+                self._cache[key] = value
+                for position in positions:
+                    out[position] = value
+        return out
+
+    def matrix(self, items=None) -> np.ndarray:
+        """Full symmetric pairwise matrix (zero diagonal) over ``items``
+        (graphs or indices; default: the whole attached graph list)."""
+        if items is None:
+            require(self._graphs is not None, "matrix() needs attached graphs")
+            items = range(len(self._graphs))
+        refs = list(items)
+        n = len(refs)
+        matrix = np.zeros((n, n))
+        pairlist = [
+            (refs[i], refs[j]) for i in range(n) for j in range(i + 1, n)
+        ]
+        values = self.pairs(pairlist)
+        position = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                matrix[i, j] = matrix[j, i] = values[position]
+                position += 1
+        return matrix
+
+    def within(self, source, targets, theta: float, eps: float = _EPS) -> np.ndarray:
+        """Boolean mask: which targets satisfy ``d(source, t) ≤ θ + eps``.
+
+        With an embedding attached and index references, the vantage lower
+        bound rejects and the vantage upper bound accepts without real
+        evaluations; only the undecided band pays for edit distances.
+        """
+        targets = list(targets)
+        mask = np.zeros(len(targets), dtype=bool)
+        if not targets:
+            return mask
+        indexable = (
+            self._embedding is not None
+            and isinstance(source, (int, np.integer))
+            and all(isinstance(t, (int, np.integer)) for t in targets)
+        )
+        if not indexable:
+            mask[:] = self.one_to_many(source, targets) <= theta + eps
+            return mask
+        coords = self._embedding.coords
+        target_ids = np.asarray([int(t) for t in targets])
+        source_row = coords[int(source)]
+        lower = np.max(np.abs(coords[target_ids] - source_row), axis=1)
+        undecided = lower <= theta + eps
+        self.prefilter_lower_rejections += int(np.count_nonzero(~undecided))
+        upper = np.min(coords[target_ids] + source_row, axis=1)
+        accepted = undecided & (upper <= theta + eps)
+        self.prefilter_upper_accepts += int(np.count_nonzero(accepted))
+        mask[accepted] = True
+        remaining = np.flatnonzero(undecided & ~accepted)
+        if remaining.size:
+            distances = self.one_to_many(
+                source, [int(target_ids[r]) for r in remaining]
+            )
+            mask[remaining] = distances <= theta + eps
+        return mask
+
+    # ------------------------------------------------------------------
+    # Evaluation backends
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.engine.pool import create_pool
+
+            self._pool = create_pool(
+                self.pool_workers, self._base_distance, self._graphs
+            )
+        return self._pool
+
+    def _chunk(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        # ~2 tasks per worker: the batch evaluator has a fixed per-chunk
+        # setup cost, so fewer, larger chunks beat fine-grained dispatch.
+        return max(8, -(-total // (self.pool_workers * 2)))
+
+    def _evaluate_one_to_many(self, source_ref, source_graph, miss_refs):
+        self.batches += 1
+        count = len(miss_refs)
+        self.evaluations += count
+        if self.pool_workers > 1 and count >= self.parallel_threshold:
+            from repro.engine.pool import run_one_to_many
+
+            chunk = self._chunk(count)
+            payloads = [
+                (
+                    self._encode(source_ref),
+                    [self._encode(ref) for ref, _ in miss_refs[k:k + chunk]],
+                )
+                for k in range(0, count, chunk)
+            ]
+            self.parallel_batches += len(payloads)
+            results = self._ensure_pool().map(run_one_to_many, payloads)
+            return [value for block in results for value in block]
+        graphs = [graph for _, graph in miss_refs]
+        if self._evaluator is not None:
+            return self._evaluator.one_to_many(source_graph, graphs)
+        return [float(self.inner(source_graph, graph)) for graph in graphs]
+
+    def _evaluate_pairs(self, miss_refs):
+        self.batches += 1
+        count = len(miss_refs)
+        self.evaluations += count
+        if self.pool_workers > 1 and count >= self.parallel_threshold:
+            from repro.engine.pool import run_pairs
+
+            chunk = self._chunk(count)
+            payloads = [
+                [
+                    (self._encode(ref_a), self._encode(ref_b))
+                    for (ref_a, _), (ref_b, _) in miss_refs[k:k + chunk]
+                ]
+                for k in range(0, count, chunk)
+            ]
+            self.parallel_batches += len(payloads)
+            results = self._ensure_pool().map(run_pairs, payloads)
+            return [value for block in results for value in block]
+        out: list[float] = []
+        position = 0
+        while position < count:
+            # Group consecutive pairs sharing a left graph for the batch
+            # evaluator (matrix rows arrive exactly this way).
+            (_, left), _ = miss_refs[position]
+            stop = position
+            while stop < count and miss_refs[stop][0][1] is left:
+                stop += 1
+            rights = [graph for _, (_, graph) in miss_refs[position:stop]]
+            if self._evaluator is not None:
+                out.extend(self._evaluator.one_to_many(left, rights))
+            else:
+                out.extend(float(self.inner(left, right)) for right in rights)
+            position = stop
+        return out

@@ -1,0 +1,94 @@
+"""Worker-process plumbing for :class:`repro.engine.DistanceEngine`.
+
+The engine fans batches out over a ``multiprocessing`` pool.  Everything
+here is module-level so task payloads stay picklable; ``multiprocessing``
+itself is imported lazily inside :func:`create_pool` — importing this
+module (or any engine consumer) never touches process machinery, so
+single-process use pays nothing.
+
+Graphs travel to workers in one of two forms: integer indices into the
+graph list the pool was initialized with (the database case — payloads are
+a few bytes per graph), or pickled :class:`LabeledGraph` objects for
+free-standing graphs.  Each worker lazily builds its own batch evaluator
+(see :mod:`repro.engine.starbatch`), so chunks are evaluated with the same
+fast path — and therefore the same bits — as the serial engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Per-process worker state, set once by :func:`_init_worker`.
+_STATE: dict = {}
+
+
+def _init_worker(distance, graphs) -> None:
+    from repro.engine.starbatch import batch_evaluator_for
+
+    _STATE["distance"] = distance
+    _STATE["graphs"] = graphs
+    _STATE["evaluator"] = batch_evaluator_for(distance)
+
+
+def _resolve(ref):
+    """An index refers to the shared graph list; anything else is a graph."""
+    if isinstance(ref, int):
+        return _STATE["graphs"][ref]
+    return ref
+
+
+def run_one_to_many(payload) -> list[float]:
+    """Worker task: ``(source_ref, [target_ref, ...]) -> [distance, ...]``."""
+    source_ref, target_refs = payload
+    source = _resolve(source_ref)
+    targets = [_resolve(ref) for ref in target_refs]
+    evaluator = _STATE["evaluator"]
+    if evaluator is not None:
+        return [float(v) for v in evaluator.one_to_many(source, targets)]
+    distance = _STATE["distance"]
+    return [float(distance(source, target)) for target in targets]
+
+
+def run_pairs(payload) -> list[float]:
+    """Worker task: ``[(ref1, ref2), ...] -> [distance, ...]``.
+
+    Consecutive pairs sharing a left graph are grouped so the batch
+    evaluator amortizes the source-side work (matrix rows arrive this way).
+    """
+    evaluator = _STATE["evaluator"]
+    distance = _STATE["distance"]
+    out: list[float] = []
+    position = 0
+    while position < len(payload):
+        left_ref = payload[position][0]
+        stop = position
+        while stop < len(payload) and payload[stop][0] == left_ref:
+            stop += 1
+        left = _resolve(left_ref)
+        rights = [_resolve(ref) for _, ref in payload[position:stop]]
+        if evaluator is not None:
+            out.extend(float(v) for v in evaluator.one_to_many(left, rights))
+        else:
+            out.extend(float(distance(left, right)) for right in rights)
+        position = stop
+    return out
+
+
+def create_pool(workers: int, distance, graphs: Sequence | None):
+    """Create the process pool (lazy ``multiprocessing`` import).
+
+    Prefers the ``fork`` start method — workers then inherit the distance
+    and graph list without pickling; other start methods work as long as
+    both are picklable (true for every distance in this library).
+    """
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(distance, list(graphs) if graphs is not None else None),
+    )

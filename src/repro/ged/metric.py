@@ -57,6 +57,25 @@ class CountingDistance:
     def reset(self) -> None:
         self.calls = 0
 
+    def stats(self) -> dict:
+        """Counter snapshot, merged with any wrapped stats-bearing layer.
+
+        The wrappers compose in either order: ``Counting(Caching(d))`` and
+        ``Caching(Counting(d))`` both report the same ``evaluations`` (real
+        metric computations), ``cache_hits`` and ``hit_rate``.
+        """
+        stats = {"calls": self.calls, "evaluations": self.calls}
+        inner_stats = getattr(self.inner, "stats", None)
+        if callable(inner_stats):
+            inner = inner_stats()
+            # A cache below us absorbs hits: our call count includes them,
+            # but only its misses reached the real metric.
+            if "cache_misses" in inner:
+                stats["evaluations"] = inner["evaluations"]
+            for key, value in inner.items():
+                stats.setdefault(key, value)
+        return stats
+
     def __repr__(self) -> str:
         return f"CountingDistance(calls={self.calls}, inner={self.inner!r})"
 
@@ -93,6 +112,23 @@ class CachingDistance:
         self.hits = 0
         self.misses = 0
 
+    def stats(self) -> dict:
+        """Counter snapshot, merged with any wrapped stats-bearing layer."""
+        lookups = self.hits + self.misses
+        stats = {
+            "calls": lookups,
+            "evaluations": self.misses,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "cache_size": len(self._cache),
+        }
+        inner_stats = getattr(self.inner, "stats", None)
+        if callable(inner_stats):
+            for key, value in inner_stats().items():
+                stats.setdefault(key, value)
+        return stats
+
     def __repr__(self) -> str:
         return (
             f"CachingDistance(size={len(self._cache)}, hits={self.hits}, "
@@ -103,12 +139,17 @@ class CachingDistance:
 def pairwise_matrix(
     graphs: Sequence[LabeledGraph],
     distance: GraphDistanceFn,
+    engine=None,
 ) -> np.ndarray:
     """Full symmetric pairwise distance matrix (zero diagonal).
 
     O(n²/2) distance evaluations — the cost the NB-Index exists to avoid;
-    used as the best-case comparator and in exact tests.
+    used as the best-case comparator and in exact tests.  Pass a
+    :class:`~repro.engine.DistanceEngine` to evaluate the triangle in
+    batches (identical values, same row-major order).
     """
+    if engine is not None:
+        return engine.matrix(graphs)
     n = len(graphs)
     matrix = np.zeros((n, n))
     for i in range(n):

@@ -43,7 +43,7 @@ import time
 import numpy as np
 
 from repro.core.results import QueryResult, QueryStats
-from repro.ged.metric import CachingDistance, CountingDistance, GraphDistanceFn
+from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
 from repro.index.nbtree import NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds
@@ -80,6 +80,10 @@ class NBIndex:
         self.ladder = ladder
         self._counting = counting
         self.build_seconds = build_seconds
+        # When the shared distance is a DistanceEngine, query sessions use
+        # its batched, prefiltered threshold checks; any plain distance
+        # still works through the per-pair path.
+        self.engine = distance if hasattr(distance, "within") else None
         self._leaf_of: dict[int, NBTreeNode] = {
             node.graph_index: node for node in tree.nodes if node.is_leaf
         }
@@ -98,6 +102,8 @@ class NBIndex:
         rng=None,
         vp_strategy: str = "random",
         validate_metric: bool = False,
+        workers: int | None = None,
+        engine=None,
     ) -> "NBIndex":
         """Build the index: select VPs, embed the database, cluster it.
 
@@ -108,36 +114,53 @@ class NBIndex:
         recommended for user-supplied distances.  When ``thresholds`` is
         omitted, a slope-proportional ladder is derived from sampled
         pairwise distances (Sec. 7.1, scheme 2).
+
+        Every distance goes through a shared
+        :class:`~repro.engine.DistanceEngine` (batched evaluation + the
+        symmetric cache the old counting/caching pair provided).
+        ``workers`` sets its process fan-out — ``None`` defers to the
+        ``REPRO_ENGINE_WORKERS`` environment variable, defaulting to
+        serial; the built index is identical for every worker count.  Pass
+        a prebuilt ``engine`` to share its cache across builds.
         """
         require_positive(num_vantage_points, "num_vantage_points")
         require(len(database) > 0, "cannot index an empty database")
+        from repro.engine import DistanceEngine
+
         rng = ensure_rng(rng)
-        counting = CountingDistance(distance)
-        cached = CachingDistance(counting)
+        if engine is None:
+            engine = DistanceEngine(
+                distance, workers=workers, graphs=database.graphs
+            )
         if validate_metric:
-            _spot_check_metric(database, cached, rng)
+            _spot_check_metric(database, engine, rng)
 
         started = time.perf_counter()
         vp_count = min(num_vantage_points, len(database))
         vp_indices = select_vantage_points(
             database.graphs, vp_count, rng=rng, strategy=vp_strategy,
-            distance=cached,
+            distance=engine, engine=engine,
         )
-        embedding = VantageEmbedding(database.graphs, vp_indices, cached)
+        embedding = VantageEmbedding(
+            database.graphs, vp_indices, engine, engine=engine
+        )
+        engine.attach_embedding(embedding)
         if thresholds is None:
             if len(database) < 2:
                 thresholds = ThresholdLadder([1.0])
             else:
                 thresholds = choose_thresholds(
-                    database.graphs, cached, count=10,
+                    database.graphs, engine, count=10,
                     num_pairs=min(1000, len(database) * 4), rng=rng,
+                    engine=engine,
                 )
         tree = NBTree(
-            database.graphs, cached, embedding, branching=branching, rng=rng
+            database.graphs, engine, embedding, branching=branching, rng=rng,
+            engine=engine,
         )
         build_seconds = time.perf_counter() - started
         return cls(
-            database, cached, embedding, tree, thresholds, counting,
+            database, engine, embedding, tree, thresholds, engine,
             build_seconds,
         )
 
@@ -205,6 +228,10 @@ class NBIndex:
 
         new_id = self.database.append(graph, feature_row)
         graph = self.database[new_id]
+        if self.engine is not None:
+            # Worker processes hold a snapshot of the graph list; drop the
+            # pool so the next batch is created against the grown database.
+            self.engine.invalidate_pool()
         self.embedding.append_graph(graph)
 
         tree = self.tree
@@ -439,16 +466,24 @@ class QuerySession:
             return cached
         index = self.index
         candidates = index.embedding.candidates(gid, theta + _EPS, self.relevant)
-        graph = index.database[gid]
         verified = set()
-        for c in candidates:
-            c = int(c)
-            if c == gid:
-                verified.add(c)
-                continue
-            stats.candidate_verifications += 1
-            if index.distance(graph, index.database[c]) <= theta + _EPS:
-                verified.add(c)
+        if index.engine is not None:
+            others = [int(c) for c in candidates if int(c) != gid]
+            if len(others) < candidates.size:
+                verified.add(gid)
+            stats.candidate_verifications += len(others)
+            mask = index.engine.within(gid, others, theta)
+            verified.update(c for c, ok in zip(others, mask) if ok)
+        else:
+            graph = index.database[gid]
+            for c in candidates:
+                c = int(c)
+                if c == gid:
+                    verified.add(c)
+                    continue
+                stats.candidate_verifications += 1
+                if index.distance(graph, index.database[c]) <= theta + _EPS:
+                    verified.add(c)
         result = frozenset(verified)
         neighborhoods[gid] = result
         stats.exact_neighborhoods += 1

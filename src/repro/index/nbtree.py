@@ -89,6 +89,10 @@ class NBTree:
     branching:
         Maximum fan-out ``b``; also the cluster size below which recursion
         stops (paper default 40; small values suit memory-resident use).
+    engine:
+        Optional :class:`~repro.engine.DistanceEngine`; the per-pivot
+        member scans then run as batches.  The assignment, radii,
+        diameters and pruning counters are identical either way.
     """
 
     def __init__(
@@ -98,12 +102,14 @@ class NBTree:
         embedding: VantageEmbedding | None,
         branching: int = 8,
         rng=None,
+        engine=None,
     ):
         require(branching >= 2, f"branching must be >= 2, got {branching}")
         require(len(graphs) > 0, "cannot build a tree over an empty database")
         self._graphs = graphs
         self._distance = distance
         self._embedding = embedding
+        self._engine = engine
         self.branching = branching
         self.stats = BuildStats()
         self.nodes: list[NBTreeNode] = []
@@ -123,6 +129,27 @@ class NBTree:
         self.stats.exact_distances += 1
         return float(self._distance(self._graphs[i], self._graphs[j]))
 
+    def _exact_batch(self, source: int, targets) -> np.ndarray:
+        """``d(source, t)`` for many targets through the engine.
+
+        Counts one exact distance per target — the same accounting as the
+        per-pair path, which also counts cache-served evaluations.
+        """
+        targets = list(targets)
+        self.stats.exact_distances += len(targets)
+        if self._engine.graphs is self._graphs:
+            refs = targets
+        else:
+            refs = [self._graphs[int(t)] for t in targets]
+        return np.asarray(
+            self._engine.one_to_many(
+                source if self._engine.graphs is self._graphs
+                else self._graphs[source],
+                refs,
+            ),
+            dtype=float,
+        )
+
     def _leaf(self, index: int) -> NBTreeNode:
         return self._new_node(
             centroid=index,
@@ -134,10 +161,18 @@ class NBTree:
 
     def _bucket(self, members: np.ndarray, centroid: int) -> NBTreeNode:
         """Terminal cluster: children are the member leaves."""
-        distances = [
-            0.0 if int(m) == centroid else self._exact(centroid, int(m))
-            for m in members
-        ]
+        if self._engine is not None:
+            others = [int(m) for m in members if int(m) != centroid]
+            values = iter(self._exact_batch(centroid, others))
+            distances = [
+                0.0 if int(m) == centroid else float(next(values))
+                for m in members
+            ]
+        else:
+            distances = [
+                0.0 if int(m) == centroid else self._exact(centroid, int(m))
+                for m in members
+            ]
         node = self._new_node(
             centroid=centroid,
             radius=float(max(distances)),
@@ -203,9 +238,17 @@ class NBTree:
         """
         first = int(members[rng.integers(members.size)])
         pivots = [first]
-        min_dist = np.array(
-            [0.0 if int(m) == first else self._exact(first, int(m)) for m in members]
-        )
+        if self._engine is not None:
+            others = [int(m) for m in members if int(m) != first]
+            values = iter(self._exact_batch(first, others))
+            min_dist = np.array(
+                [0.0 if int(m) == first else float(next(values)) for m in members]
+            )
+        else:
+            min_dist = np.array(
+                [0.0 if int(m) == first else self._exact(first, int(m))
+                 for m in members]
+            )
         first_pivot_distances = dict(
             zip((int(m) for m in members), (float(d) for d in min_dist))
         )
@@ -229,18 +272,33 @@ class NBTree:
                 )
             else:
                 lower = np.zeros(members.size)
+            # Which members need a real distance to the new pivot?  The
+            # per-member updates are independent, so evaluating them as one
+            # batch leaves every assignment and counter unchanged.
+            to_evaluate: list[int] = []
             for idx, member in enumerate(members):
                 member = int(member)
                 if member == new_pivot:
                     min_dist[idx] = 0.0
                     assignment[idx] = new_pivot
-                    continue
-                if lower[idx] >= min_dist[idx]:
+                elif lower[idx] >= min_dist[idx]:
                     self.stats.pruned_by_vantage += 1
-                    continue
-                d = self._exact(new_pivot, member)
+                else:
+                    to_evaluate.append(idx)
+            if not to_evaluate:
+                continue
+            if self._engine is not None:
+                exact = self._exact_batch(
+                    new_pivot, [int(members[idx]) for idx in to_evaluate]
+                )
+            else:
+                exact = [
+                    self._exact(new_pivot, int(members[idx]))
+                    for idx in to_evaluate
+                ]
+            for idx, d in zip(to_evaluate, exact):
                 if d < min_dist[idx]:
-                    min_dist[idx] = d
+                    min_dist[idx] = float(d)
                     assignment[idx] = new_pivot
         assert set(assignment) <= member_set
         return pivots, assignment, first_pivot_distances

@@ -19,7 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.ged.metric import CachingDistance, CountingDistance, GraphDistanceFn
+from repro.ged.metric import GraphDistanceFn
 from repro.graphs.database import GraphDatabase
 from repro.index.nbindex import NBIndex
 from repro.index.nbtree import NBTree, NBTreeNode
@@ -74,12 +74,15 @@ def load_index(
     path: str | Path,
     database: GraphDatabase,
     distance: GraphDistanceFn,
+    workers: int | None = None,
 ) -> NBIndex:
     """Load an index saved by :func:`save_index` against its database.
 
     ``distance`` must be the same metric the index was built with (the
     stored coordinates and radii are only meaningful for it); the database
-    is verified by fingerprint.
+    is verified by fingerprint.  ``workers`` configures the loaded index's
+    :class:`~repro.engine.DistanceEngine` exactly as in
+    :meth:`NBIndex.build`.
     """
     with np.load(Path(path)) as data:
         version = int(data["format_version"][0])
@@ -94,12 +97,15 @@ def load_index(
             "index fingerprint does not match the provided database",
         )
 
-        counting = CountingDistance(distance)
-        cached = CachingDistance(counting)
+        from repro.engine import DistanceEngine
+
+        engine = DistanceEngine(
+            distance, workers=workers, graphs=database.graphs
+        )
 
         embedding = VantageEmbedding.__new__(VantageEmbedding)
         embedding._graphs = database.graphs
-        embedding._distance = cached
+        embedding._distance = engine
         embedding.vantage_indices = [int(i) for i in data["vantage_indices"]]
         embedding.coords = data["coords"].copy()
         embedding._order0 = np.argsort(embedding.coords[:, 0], kind="stable")
@@ -135,7 +141,8 @@ def load_index(
 
         tree = NBTree.__new__(NBTree)
         tree._graphs = database.graphs
-        tree._distance = cached
+        tree._distance = engine
+        tree._engine = engine
         tree._embedding = embedding
         tree.branching = int(data["branching"][0])
         tree.nodes = nodes
@@ -147,8 +154,9 @@ def load_index(
         ladder = ThresholdLadder(float(v) for v in data["ladder"])
         build_seconds = float(data["build_seconds"][0])
 
+    engine.attach_embedding(embedding)
     return NBIndex(
-        database, cached, embedding, tree, ladder, counting, build_seconds
+        database, engine, embedding, tree, ladder, engine, build_seconds
     )
 
 

@@ -66,31 +66,51 @@ class ThresholdLadder:
         return f"ThresholdLadder([{inner}])"
 
 
+def sample_distinct_pairs(n: int, num_pairs: int, rng) -> list[tuple[int, int]]:
+    """Uniformly random distinct index pairs, resampling self-pairs.
+
+    The rng draw sequence is exactly the historical interleaved one —
+    distance evaluation never consumed randomness — so callers can batch
+    the evaluations without perturbing seeded experiments.
+    """
+    pairs: list[tuple[int, int]] = []
+    for _ in range(num_pairs):
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        while j == i:
+            j = int(rng.integers(n))
+        pairs.append((i, j))
+    return pairs
+
+
 def choose_thresholds(
     graphs,
     distance: GraphDistanceFn,
     count: int = 10,
     num_pairs: int = 1000,
     rng=None,
+    engine=None,
 ) -> ThresholdLadder:
     """Slope-proportional ladder from sampled pairwise distances (scheme 2).
 
     Thresholds are the equal-mass quantiles of a random-pair distance
     sample, so regions where π(g) climbs steeply with θ (dense distance
     mass) receive more indexed thresholds — the paper's recommendation when
-    no query log exists.
+    no query log exists.  With an ``engine`` the sampled pairs are
+    evaluated as one batch (same pairs, same values, same ladder).
     """
     require(count >= 1, f"count must be >= 1, got {count}")
     require(len(graphs) >= 2, "need at least two graphs to sample distances")
     rng = ensure_rng(rng)
-    n = len(graphs)
-    samples = np.empty(num_pairs)
-    for t in range(num_pairs):
-        i = int(rng.integers(n))
-        j = int(rng.integers(n))
-        while j == i:
-            j = int(rng.integers(n))
-        samples[t] = distance(graphs[i], graphs[j])
+    pairs = sample_distinct_pairs(len(graphs), num_pairs, rng)
+    if engine is not None:
+        samples = np.asarray(
+            engine.pairs([(graphs[i], graphs[j]) for i, j in pairs])
+        )
+    else:
+        samples = np.array(
+            [float(distance(graphs[i], graphs[j])) for i, j in pairs]
+        )
     quantile_levels = np.linspace(0.0, 1.0, count + 1)[1:]
     thresholds = np.quantile(samples, quantile_levels)
     return ThresholdLadder(thresholds)

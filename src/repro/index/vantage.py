@@ -36,13 +36,17 @@ def select_vantage_points(
     rng=None,
     strategy: str = "random",
     distance: GraphDistanceFn | None = None,
+    engine=None,
 ) -> list[int]:
     """Choose ``count`` vantage-point indices from ``graphs``.
 
     ``strategy='random'`` is the paper's choice (Def. 3 selects VPs
     randomly; the FPR analysis of Sec. 6.2.1 assumes it).
     ``strategy='maxmin'`` is the classic farthest-first alternative offered
-    for the ablation benchmarks; it needs ``distance``.
+    for the ablation benchmarks; it needs ``distance``.  Each maxmin round
+    is an O(n) distance scan; pass a
+    :class:`~repro.engine.DistanceEngine` to evaluate the scans as batches
+    (identical values, identical selection).
     """
     require(0 < count <= len(graphs), f"count {count} not in 1..{len(graphs)}")
     rng = ensure_rng(rng)
@@ -50,19 +54,27 @@ def select_vantage_points(
         chosen = rng.choice(len(graphs), size=count, replace=False)
         return sorted(int(i) for i in chosen)
     if strategy == "maxmin":
-        require(distance is not None, "maxmin strategy requires a distance")
+        require(
+            distance is not None or engine is not None,
+            "maxmin strategy requires a distance",
+        )
+
+        def scan(pivot: int) -> np.ndarray:
+            if engine is not None:
+                return np.asarray(
+                    engine.one_to_many(graphs[pivot], list(graphs)), dtype=float
+                )
+            return np.array(
+                [distance(graphs[pivot], g) for g in graphs], dtype=float
+            )
+
         first = int(rng.integers(len(graphs)))
         chosen_list = [first]
-        min_dist = np.array(
-            [distance(graphs[first], g) for g in graphs], dtype=float
-        )
+        min_dist = scan(first)
         while len(chosen_list) < count:
             nxt = int(np.argmax(min_dist))
             chosen_list.append(nxt)
-            dist_next = np.array(
-                [distance(graphs[nxt], g) for g in graphs], dtype=float
-            )
-            np.minimum(min_dist, dist_next, out=min_dist)
+            np.minimum(min_dist, scan(nxt), out=min_dist)
         return sorted(chosen_list)
     raise ValueError(f"unknown strategy {strategy!r}; use 'random' or 'maxmin'")
 
@@ -78,6 +90,9 @@ class VantageEmbedding:
         Indices of the chosen vantage points within ``graphs``.
     distance:
         The underlying metric; called ``|V| · n`` times at construction.
+    engine:
+        Optional :class:`~repro.engine.DistanceEngine`; each vantage
+        column is then computed as one batch (identical values).
     """
 
     def __init__(
@@ -85,6 +100,7 @@ class VantageEmbedding:
         graphs: Sequence[LabeledGraph],
         vantage_indices: Sequence[int],
         distance: GraphDistanceFn,
+        engine=None,
     ):
         require(len(vantage_indices) > 0, "at least one vantage point required")
         self._graphs = graphs
@@ -93,7 +109,10 @@ class VantageEmbedding:
         coords = np.empty((len(graphs), len(self.vantage_indices)))
         for j, vp in enumerate(self.vantage_indices):
             vantage_graph = graphs[vp]
-            coords[:, j] = [distance(vantage_graph, g) for g in graphs]
+            if engine is not None:
+                coords[:, j] = engine.one_to_many(vantage_graph, list(graphs))
+            else:
+                coords[:, j] = [distance(vantage_graph, g) for g in graphs]
         self.coords = coords
         # Vantage Orderings proper: per-VP sort of the database.  Only the
         # first ordering is used to seed candidate windows; the remaining

@@ -1,6 +1,5 @@
 """Benchmark harness plumbing: contexts, result containers, printers."""
 
-import numpy as np
 import pytest
 
 import repro.bench.harness as harness

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import GraphDatabase, LabeledGraph, path_graph
+from repro.graphs import GraphDatabase, path_graph
 from repro.graphs.relevance import WeightedScoreThreshold
 
 

@@ -1,6 +1,5 @@
 """Cheap GED bounds: validity against exact GED and the star distance."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Baseline and lazy greedy (Algorithm 1): correctness and equivalence."""
 
-import numpy as np
 import pytest
 
 from repro.core import all_theta_neighborhoods, baseline_greedy, lazy_greedy

@@ -1,7 +1,6 @@
 """Theoretical guarantees: submodularity (Theorem 2), monotonicity, and the
 (1 − 1/e) greedy approximation (Eq. 7) against brute-force optima."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

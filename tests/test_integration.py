@@ -1,7 +1,6 @@
 """Cross-module integration: the full pipeline on each synthetic dataset and
 through the public facade."""
 
-import numpy as np
 import pytest
 
 from repro import TopKRepresentativeQuery

@@ -1,6 +1,5 @@
 """Database soft-deletion and index ladder swapping."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import disc_greedy

@@ -1,7 +1,6 @@
 """Distance facades: counting, caching, matrices, axiom checking."""
 
 import numpy as np
-import pytest
 
 from repro.ged import (
     CachingDistance,
@@ -10,7 +9,7 @@ from repro.ged import (
     check_metric_axioms,
     pairwise_matrix,
 )
-from repro.graphs import GraphDatabase, LabeledGraph, path_graph
+from repro.graphs import GraphDatabase, path_graph
 
 
 def _graphs():

@@ -1,6 +1,5 @@
 """M-tree and C-tree: range-query exactness and pruning effectiveness."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import Closure, CTree, MTree

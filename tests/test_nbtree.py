@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.ged import CountingDistance, StarDistance
+from repro.ged import StarDistance
 from repro.index import NBTree, VantageEmbedding, select_vantage_points
-from repro.graphs import GraphDatabase, path_graph
+from repro.graphs import path_graph
 from tests.conftest import random_database
 
 

@@ -6,9 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import all_theta_neighborhoods
-from repro.core.reduction import LookupDistance
 from repro.ged import StarDistance
-from repro.graphs import GraphDatabase, LabeledGraph, quartile_relevance
+from repro.graphs import GraphDatabase, LabeledGraph
 from repro.graphs.relevance import WeightedScoreThreshold
 from repro.index import NBIndex, VantageEmbedding, select_vantage_points
 from tests.conftest import random_database

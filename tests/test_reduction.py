@@ -1,6 +1,5 @@
 """The Set-Cover reduction (Theorem 1): executable hardness construction."""
 
-import itertools
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.core import (
     optimal_answer,
     reduce_set_cover,
 )
-from repro.core.reduction import LookupDistance
 from repro.ged import check_metric_axioms
 from repro.index import NBIndex
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import evaluate_answer, evaluate_answers, sample_distances
-from repro.core import RefinementSession, all_theta_neighborhoods, baseline_greedy
+from repro.core import RefinementSession, baseline_greedy
 from repro.ged import StarDistance
 from repro.graphs import quartile_relevance
 from repro.index import NBIndex
