@@ -1,0 +1,202 @@
+"""No-op observability overhead guard (<5%).
+
+Every hot path in the library — the distance engine, the GED metrics, the
+NB-Index build and query, the greedy algorithms — is instrumented with
+``repro.obs`` helper calls that hit no-op implementations while
+observability is off (the default).  This benchmark verifies that those
+disabled call sites are effectively free:
+
+* ``stubbed`` — the same workload with the ``repro.obs`` module-level
+  helpers swapped for bare lambdas: the cheapest the instrumented call
+  sites could possibly be, standing in for an uninstrumented build;
+* ``disabled`` — the shipping default (``NullRegistry``/``NullTracer``);
+* ``enabled`` — full recording, reported for information (recording is
+  allowed to cost more; only the *disabled* path is guarded).
+
+The guard asserts ``disabled ≤ stubbed × 1.05`` on min-of-repeats
+timings, i.e. the off-by-default dispatch overhead stays under 5% of the
+representative query workload.  Per-call no-op helper costs are reported
+alongside so a regression points at the offending helper.
+
+Runnable standalone (``python benchmarks/bench_obs_overhead.py``) or
+under pytest; both write the table under ``results/``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from repro import obs
+from repro.ged.star import StarDistance
+from repro.graphs import quartile_relevance
+from repro.index.nbindex import NBIndex
+
+#: Allowed no-op overhead of the disabled obs path vs. bare-lambda stubs.
+OVERHEAD_BUDGET = 0.05
+
+_HELPERS = ("counter", "gauge", "observe_time", "histogram", "timer", "span")
+
+
+@contextlib.contextmanager
+def _stubbed_helpers():
+    """Swap the ``repro.obs`` hot-path helpers for bare lambdas.
+
+    Instrumented modules call ``obs.counter(...)`` etc. through the module
+    attribute, so rebinding here reaches every call site; this is the
+    lower bound an uninstrumented build could achieve.
+    """
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def set(self, **attrs):
+            pass
+
+    null_span = _NullSpan()
+
+    saved = {name: getattr(obs, name) for name in _HELPERS}
+    try:
+        obs.counter = lambda name, value=1: None
+        obs.gauge = lambda name, value: None
+        obs.observe_time = lambda name, seconds: None
+        obs.histogram = lambda name, value, buckets=None: None
+        obs.timer = lambda name: null_span
+        obs.span = lambda name, **attrs: null_span
+        yield
+    finally:
+        for name, fn in saved.items():
+            setattr(obs, name, fn)
+
+
+def _query_workload(index, query_fn, theta, k, rounds):
+    started = time.perf_counter()
+    for _ in range(rounds):
+        index.query(query_fn, theta, k)
+    return time.perf_counter() - started
+
+
+def _per_call_nanos(fn, calls=200_000):
+    started = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - started) / calls * 1e9
+
+
+def obs_overhead_benchmark(
+    num_graphs: int = 120,
+    seed: int = 11,
+    k: int = 5,
+    rounds: int = 40,
+    repeats: int = 5,
+):
+    from repro.bench.harness import ExperimentResult
+    from repro.datasets import GENERATORS, calibrate_theta
+
+    obs.disable()
+    database = GENERATORS["dud"](num_graphs=num_graphs, seed=seed)
+    distance = StarDistance()
+    theta = calibrate_theta(database, distance, quantile=0.05, rng=seed)
+    query_fn = quartile_relevance(database)
+    index = NBIndex.build(
+        database, distance, num_vantage_points=8, branching=6, seed=seed
+    )
+    index.query(query_fn, theta, k)  # warm caches before timing
+
+    def _build_once():
+        started = time.perf_counter()
+        NBIndex.build(
+            database, StarDistance(), num_vantage_points=8, branching=6,
+            seed=seed,
+        )
+        return time.perf_counter() - started
+
+    # Min-of-repeats, variants interleaved so drift hits all three alike.
+    timings = {"stubbed": [], "disabled": [], "enabled": []}
+    builds = {"stubbed": [], "disabled": []}
+    for _ in range(repeats):
+        with _stubbed_helpers():
+            timings["stubbed"].append(
+                _query_workload(index, query_fn, theta, k, rounds)
+            )
+            builds["stubbed"].append(_build_once())
+        timings["disabled"].append(
+            _query_workload(index, query_fn, theta, k, rounds)
+        )
+        builds["disabled"].append(_build_once())
+        with obs.observe():
+            timings["enabled"].append(
+                _query_workload(index, query_fn, theta, k, rounds)
+            )
+    best = {variant: min(values) for variant, values in timings.items()}
+    best_build = {variant: min(values) for variant, values in builds.items()}
+    overhead = best["disabled"] / best["stubbed"] - 1.0
+    build_overhead = best_build["disabled"] / best_build["stubbed"] - 1.0
+
+    def _span_once():
+        with obs.span("bench.noop"):
+            pass
+
+    rows = [
+        {
+            "variant": variant,
+            "total_s": best[variant],
+            "per_query_ms": best[variant] / rounds * 1e3,
+            "build_s": best_build.get(variant),
+            "vs_stubbed": best[variant] / best["stubbed"] - 1.0,
+            "within_budget": (
+                best[variant] <= best["stubbed"] * (1.0 + OVERHEAD_BUDGET)
+                and build_overhead <= OVERHEAD_BUDGET
+                if variant == "disabled" else None
+            ),
+        }
+        for variant in ("stubbed", "disabled", "enabled")
+    ]
+    return ExperimentResult(
+        name="obs_overhead",
+        columns=["variant", "total_s", "per_query_ms", "build_s",
+                 "vs_stubbed", "within_budget"],
+        rows=rows,
+        notes=(
+            f"dud n={num_graphs} k={k}, {rounds} queries/repeat, "
+            f"min of {repeats}; disabled-vs-stubbed overhead "
+            f"{overhead * 100:+.2f}% query / {build_overhead * 100:+.2f}% "
+            f"build (budget {OVERHEAD_BUDGET * 100:.0f}%); "
+            f"no-op per call: counter "
+            f"{_per_call_nanos(lambda: obs.counter('bench.noop')):.0f}ns, "
+            f"span {_per_call_nanos(_span_once):.0f}ns"
+        ),
+    )
+
+
+def test_obs_overhead(benchmark):
+    from conftest import run_once
+
+    from repro.bench.printers import print_and_save
+
+    result = run_once(benchmark, obs_overhead_benchmark)
+    print_and_save(result)
+    by_name = {row["variant"]: row for row in result.rows}
+    assert by_name["disabled"]["within_budget"], (
+        f"disabled obs path exceeds the {OVERHEAD_BUDGET:.0%} no-op budget: "
+        f"{by_name['disabled']['vs_stubbed']:+.2%} vs stubbed helpers"
+    )
+
+
+if __name__ == "__main__":
+    from repro.bench.printers import print_and_save
+
+    outcome = obs_overhead_benchmark()
+    print_and_save(outcome)
+    disabled = next(r for r in outcome.rows if r["variant"] == "disabled")
+    if not disabled["within_budget"]:
+        raise SystemExit(
+            f"disabled obs path exceeds the {OVERHEAD_BUDGET:.0%} budget: "
+            f"{disabled['vs_stubbed']:+.2%}"
+        )

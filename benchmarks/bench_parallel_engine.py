@@ -60,7 +60,8 @@ def _seed_style_build(database, distance, num_vantage_points, branching, rng):
     )
     build_seconds = time.perf_counter() - started
     return NBIndex(
-        database, cached, embedding, tree, thresholds, counting, build_seconds
+        database, cached, embedding=embedding, tree=tree, ladder=thresholds,
+        counting=counting, build_seconds=build_seconds,
     )
 
 
@@ -98,7 +99,7 @@ def parallel_engine_benchmark(
     variants.append({
         "variant": "seed-serial",
         "build_s": serial_build,
-        "build_distance_calls": serial_index.distance_calls,
+        "build_distance_calls": serial_index.stats()["distance_calls"],
         "query_s": serial_query,
         "query_distance_calls": serial_result.stats.distance_calls,
         "build_speedup": 1.0,
@@ -111,7 +112,7 @@ def parallel_engine_benchmark(
         index = NBIndex.build(
             database, StarDistance(),
             num_vantage_points=num_vantage_points, branching=branching,
-            rng=seed, workers=workers,
+            seed=seed, workers=workers,
         )
         build = time.perf_counter() - started
         started = time.perf_counter()
@@ -121,7 +122,7 @@ def parallel_engine_benchmark(
         variants.append({
             "variant": f"engine-{workers}w",
             "build_s": build,
-            "build_distance_calls": index.distance_calls,
+            "build_distance_calls": index.stats()["distance_calls"],
             "query_s": query,
             "query_distance_calls": result.stats.distance_calls,
             "build_speedup": serial_build / build,

@@ -44,9 +44,9 @@ def main():
 
     print("building indexes offline...")
     index = NBIndex.build(database, distance, num_vantage_points=12,
-                          branching=8, rng=13)
-    ctree = CTree(database.graphs, distance, capacity=16, rng=13)
-    mtree = MTree(database.graphs, distance, capacity=16, rng=13)
+                          branching=8, seed=13)
+    ctree = CTree(database.graphs, distance, capacity=16, seed=13)
+    mtree = MTree(database.graphs, distance, capacity=16, seed=13)
     oracle = DistanceMatrixOracle(database, distance)
     print(f"  NB-Index: {index.build_seconds:.1f}s; "
           f"distance matrix: {oracle.build_seconds:.1f}s\n")

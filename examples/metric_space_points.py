@@ -63,7 +63,7 @@ def main():
 
     # The same query through the NB-Index — the index only needs a metric.
     index = NBIndex.build(database, distance, num_vantage_points=6,
-                          branching=4, rng=0)
+                          branching=4, seed=0)
     indexed = index.query(everything_relevant, theta, k)
     describe("NB-Index top-3", indexed.answer, indexed.pi)
 

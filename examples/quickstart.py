@@ -30,7 +30,7 @@ def main():
     print(f"relevant graphs: {len(database.relevant_indices(q))}")
 
     # 5. Ask for the 5 most representative relevant molecules.
-    engine = TopKRepresentativeQuery(database, distance, rng=7)
+    engine = TopKRepresentativeQuery(database, distance, seed=7)
     result = engine.run(q, theta=theta, k=5)
 
     print(f"\nanswer ids: {result.answer}")

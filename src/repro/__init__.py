@@ -19,6 +19,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 reproduction results.
 """
 
+from repro import obs
 from repro.core import (
     QueryResult,
     QueryStats,
@@ -35,6 +36,7 @@ from repro.graphs import (
     quartile_relevance,
 )
 from repro.index import NBIndex, QuerySession
+from repro.obs import Statable, observe
 
 __version__ = "1.0.0"
 
@@ -54,5 +56,39 @@ __all__ = [
     "RefinementSession",
     "baseline_greedy",
     "lazy_greedy",
+    "obs",
+    "observe",
+    "Statable",
+    "open_database",
+    "load_index",
     "__version__",
 ]
+
+
+def open_database(path) -> GraphDatabase:
+    """Load a :class:`GraphDatabase` from a JSONL file (see
+    :mod:`repro.graphs.io`).  The canonical way scripts and the CLI open a
+    database."""
+    from repro.graphs.io import load_database
+
+    return load_database(path)
+
+
+def load_index(
+    path,
+    database: GraphDatabase,
+    distance=None,
+    *,
+    workers: int | None = None,
+) -> NBIndex:
+    """Load a saved :class:`NBIndex` (see :mod:`repro.index.persistence`).
+
+    ``distance`` defaults to :class:`StarDistance` — the metric every
+    shipped index is built with; pass the original metric for custom
+    builds.
+    """
+    from repro.index.persistence import load_index as _load_index
+
+    if distance is None:
+        distance = StarDistance()
+    return _load_index(path, database, distance, workers=workers)

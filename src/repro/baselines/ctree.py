@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.ged.metric import GraphDistanceFn
 from repro.graphs.graph import LabeledGraph
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import resolve_seed
 from repro.utils.validation import require
 
 _EPS = 1e-9
@@ -112,19 +112,30 @@ class CTree:
         self,
         graphs,
         distance: GraphDistanceFn,
+        *,
         capacity: int = 16,
-        rng=None,
+        seed=None,
         engine=None,
+        workers: int | None = None,
+        rng=None,
     ):
         require(capacity >= 2, f"capacity must be >= 2, got {capacity}")
         require(len(graphs) > 0, "cannot index an empty collection")
+        if engine is None and workers is not None:
+            from repro.engine import DistanceEngine
+
+            engine = DistanceEngine(distance, workers=workers, graphs=graphs)
         self._graphs = graphs
         self._distance = distance
         self._engine = engine
         self.capacity = capacity
         self.distance_calls = 0
-        rng = ensure_rng(rng)
+        rng = resolve_seed(seed, rng, "CTree")
         self.root = self._build(list(range(len(graphs))), rng)
+
+    def stats(self) -> dict:
+        """Statable protocol: build-work accounting."""
+        return {"distance_calls": self.distance_calls, "capacity": self.capacity}
 
     def _d(self, g: LabeledGraph, j: int) -> float:
         self.distance_calls += 1

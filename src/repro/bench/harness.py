@@ -112,7 +112,7 @@ class BenchContext:
                 self.database, self.distance,
                 num_vantage_points=self.num_vantage_points,
                 branching=self.branching, thresholds=self.ladder,
-                rng=self.seed,
+                seed=self.seed,
             )
         return self._nbindex
 
@@ -120,7 +120,7 @@ class BenchContext:
     def ctree(self) -> CTree:
         if self._ctree is None:
             self._ctree = CTree(
-                self.database.graphs, self.distance, capacity=16, rng=self.seed
+                self.database.graphs, self.distance, capacity=16, seed=self.seed
             )
         return self._ctree
 
@@ -128,7 +128,7 @@ class BenchContext:
     def mtree(self) -> MTree:
         if self._mtree is None:
             self._mtree = MTree(
-                self.database.graphs, self.distance, capacity=16, rng=self.seed
+                self.database.graphs, self.distance, capacity=16, seed=self.seed
             )
         return self._mtree
 

@@ -86,7 +86,13 @@ def chart_for(result: ExperimentResult) -> str | None:
 
 
 def print_and_save(result: ExperimentResult) -> str:
-    """Format (table + optional chart), print, persist under results/."""
+    """Format (table + optional chart), print, persist under results/.
+
+    When observability is on (``REPRO_OBS=1`` or an active
+    ``repro.observe()``), a ``results/<name>.metrics.json`` sidecar with
+    the run's counters/timers/spans is written next to the table.
+    """
+    from repro import obs
     from repro.bench.harness import write_result
 
     formatted = format_table(result)
@@ -94,5 +100,9 @@ def print_and_save(result: ExperimentResult) -> str:
     if chart:
         formatted = formatted + "\n" + chart
     print(formatted)
-    write_result(result, formatted)
+    path = write_result(result, formatted)
+    if obs.enabled():
+        sidecar = path.with_name(f"{result.name}.metrics.json")
+        obs.write_metrics(sidecar)
+        print(f"[obs] wrote {sidecar}")
     return formatted

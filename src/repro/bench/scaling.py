@@ -169,7 +169,7 @@ def fig5l6a_threshold_gap(
         index = NBIndex.build(
             ctx.database, ctx.distance,
             num_vantage_points=ctx.num_vantage_points,
-            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+            branching=ctx.branching, thresholds=ladder, seed=ctx.seed,
         )
         _, seconds = timed_call(index.query, q, theta, k)
         rows.append({
@@ -364,7 +364,7 @@ def fig6k_index_build(
     for size in sizes:
         ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
         index = ctx.nbindex
-        build_calls = index.distance_calls
+        build_calls = index.stats()["distance_calls"]
         matrix_started = time.perf_counter()
         pairwise_matrix(ctx.database.graphs, ctx.distance)
         matrix_seconds = time.perf_counter() - matrix_started
@@ -400,7 +400,7 @@ def fig6l_index_memory(
         ctx = BenchContext.create(dataset, num_graphs=size, seed=seed)
         rows.append({
             "size": size,
-            "nb_index_bytes": ctx.nbindex.memory_bytes(),
+            "nb_index_bytes": ctx.nbindex.stats()["memory_bytes"],
             "matrix_bytes": size * size * 8,
         })
     return ExperimentResult(
@@ -430,7 +430,7 @@ def ablation_vp_count(
         count = min(count, len(ctx.database))
         index = NBIndex.build(
             ctx.database, ctx.distance, num_vantage_points=count,
-            branching=ctx.branching, thresholds=ctx.ladder, rng=ctx.seed,
+            branching=ctx.branching, thresholds=ctx.ladder, seed=ctx.seed,
         )
         fpr = empirical_fpr(
             index.embedding, ctx.distance, ctx.database.graphs, ctx.theta,
@@ -462,7 +462,7 @@ def ablation_branching(
         index = NBIndex.build(
             ctx.database, ctx.distance,
             num_vantage_points=ctx.num_vantage_points, branching=b,
-            thresholds=ctx.ladder, rng=ctx.seed,
+            thresholds=ctx.ladder, seed=ctx.seed,
         )
         _, seconds = timed_call(index.query, q, ctx.theta, k)
         rows.append({
@@ -500,7 +500,7 @@ def ablation_ladder_density(
         index = NBIndex.build(
             ctx.database, ctx.distance,
             num_vantage_points=ctx.num_vantage_points,
-            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+            branching=ctx.branching, thresholds=ladder, seed=ctx.seed,
         )
         _, seconds = timed_call(index.query, q, ctx.theta, k)
         gap = ladder.gap(ctx.theta)
@@ -543,7 +543,7 @@ def ablation_insert_degradation(
 
     incremental = NBIndex.build(
         base, ctx.distance, num_vantage_points=ctx.num_vantage_points,
-        branching=ctx.branching, rng=seed,
+        branching=ctx.branching, seed=seed,
     )
     insert_started = time.perf_counter()
     for position in range(base_size, base_size + num_inserts):
@@ -553,7 +553,7 @@ def ablation_insert_degradation(
 
     rebuilt = NBIndex.build(
         full, ctx.distance, num_vantage_points=ctx.num_vantage_points,
-        branching=ctx.branching, rng=seed,
+        branching=ctx.branching, seed=seed,
     )
 
     from repro.graphs import quartile_relevance
@@ -598,7 +598,7 @@ def ablation_bounds(
         return NBIndex.build(
             ctx.database, ctx.distance,
             num_vantage_points=ctx.num_vantage_points,
-            branching=ctx.branching, thresholds=ladder, rng=ctx.seed,
+            branching=ctx.branching, thresholds=ladder, seed=ctx.seed,
         )
 
     # A sub-theta ladder leaves every query above it → trivial |L_q| bound.

@@ -10,6 +10,12 @@ Wires the library's main workflows into subcommands::
 
 ``repro experiment`` runs any benchmark driver by name and prints its
 paper-style table (persisted under ``results/``).
+
+``repro query`` and ``repro build-index`` accept ``--metrics PATH``
+(write a ``repro.obs`` JSON document — or Prometheus text when the path
+ends in ``.prom``) and ``--trace`` (print the counter/span report after
+the run).  Setting ``REPRO_OBS=1`` turns observability on for any
+subcommand without flags.
 """
 
 from __future__ import annotations
@@ -17,7 +23,25 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import __version__
+from repro import __version__, obs
+
+
+def _start_observation(args):
+    """Flip observability on when ``--metrics``/``--trace`` ask for it."""
+    if getattr(args, "metrics", None) or getattr(args, "trace", False):
+        return obs.observe()
+    return None
+
+
+def _finish_observation(observation, args) -> None:
+    if observation is None:
+        return
+    if args.metrics:
+        observation.write(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+    if args.trace:
+        observation.report()
+    observation.__exit__(None, None, None)
 
 
 # ---------------------------------------------------------------------------
@@ -62,33 +86,37 @@ def cmd_stats(args) -> int:
 
 
 def cmd_build_index(args) -> int:
+    import repro
     from repro.ged import StarDistance
-    from repro.graphs import load_database
     from repro.index import NBIndex, save_index
 
-    database = load_database(args.database)
+    observation = _start_observation(args)
+    database = repro.open_database(args.database)
     index = NBIndex.build(
         database, StarDistance(),
         num_vantage_points=args.vantage_points, branching=args.branching,
-        rng=args.seed, workers=args.workers,
+        seed=args.seed, workers=args.workers,
     )
     save_index(index, args.output)
     print(
         f"wrote {args.output}: {index.tree.num_nodes} tree nodes, "
         f"{index.embedding.num_vantage_points} VPs, "
         f"built in {index.build_seconds:.1f}s "
-        f"({index.distance_calls} edit distances)"
+        f"({index.stats()['distance_calls']} edit distances)"
     )
+    _finish_observation(observation, args)
     return 0
 
 
 def cmd_query(args) -> int:
+    import repro
     from repro.datasets import calibrate_theta
     from repro.ged import StarDistance
-    from repro.graphs import load_database, quartile_relevance
-    from repro.index import NBIndex, load_index
+    from repro.graphs import quartile_relevance
+    from repro.index import NBIndex
 
-    database = load_database(args.database)
+    observation = _start_observation(args)
+    database = repro.open_database(args.database)
     distance = StarDistance()
     theta = args.theta
     if theta is None:
@@ -109,13 +137,13 @@ def cmd_query(args) -> int:
         )
     else:
         if args.index:
-            index = load_index(
+            index = repro.load_index(
                 args.index, database, distance, workers=args.workers
             )
         else:
             index = NBIndex.build(
                 database, distance, num_vantage_points=args.vantage_points,
-                branching=args.branching, rng=args.seed, workers=args.workers,
+                branching=args.branching, seed=args.seed, workers=args.workers,
             )
         result = index.query(q, theta, args.k)
 
@@ -125,6 +153,7 @@ def cmd_query(args) -> int:
     for rank, (gid, gain) in enumerate(zip(result.answer, result.gains), 1):
         g = database[gid]
         print(f"{rank:<6}{gid:<8}{gain:<6}{g.num_nodes:<7}{g.num_edges:<7}")
+    _finish_observation(observation, args)
     return 0
 
 
@@ -251,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="distance-engine processes (default: "
                         "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a repro.obs metrics document "
+                        "(.prom → Prometheus text, else JSON)")
+    p.add_argument("--trace", action="store_true",
+                   help="print the counter/span report after the build")
     p.set_defaults(func=cmd_build_index)
 
     p = subparsers.add_parser("query", help="run a top-k representative query")
@@ -270,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="distance-engine processes (default: "
                         "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a repro.obs metrics document "
+                        "(.prom → Prometheus text, else JSON)")
+    p.add_argument("--trace", action="store_true",
+                   help="print the counter/span report after the query")
     p.set_defaults(func=cmd_query)
 
     p = subparsers.add_parser("experiment", help="run a paper experiment driver")
@@ -285,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    obs.maybe_enable_from_env()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -36,10 +36,16 @@ class TopKRepresentativeQuery:
     index:
         A prebuilt :class:`NBIndex`; built lazily on first NB-Index query
         when omitted.
+    seed:
+        Drives the lazy index build's stochastic choices (int or numpy
+        Generator); forwarded to :meth:`NBIndex.build`.
+    workers:
+        Process fan-out of the lazy build's distance engine; forwarded to
+        :meth:`NBIndex.build`.
     index_params:
-        Keyword arguments forwarded to :meth:`NBIndex.build` when the index
-        is built lazily (``num_vantage_points``, ``branching``,
-        ``thresholds``, ``rng``).
+        Further keyword arguments forwarded to :meth:`NBIndex.build` when
+        the index is built lazily (``num_vantage_points``, ``branching``,
+        ``thresholds``, ...).
     """
 
     def __init__(
@@ -47,11 +53,32 @@ class TopKRepresentativeQuery:
         database: GraphDatabase,
         distance: GraphDistanceFn | None = None,
         index: NBIndex | None = None,
+        *,
+        seed=None,
+        workers: int | None = None,
         **index_params,
     ):
         self.database = database
         self.distance = distance if distance is not None else StarDistance()
         self._index = index
+        if "rng" in index_params:
+            import warnings
+
+            warnings.warn(
+                "TopKRepresentativeQuery: the 'rng' argument is deprecated, "
+                "use 'seed='",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if seed is not None:
+                raise TypeError(
+                    "pass either 'seed=' or the deprecated 'rng=', not both"
+                )
+            seed = index_params.pop("rng")
+        if seed is not None:
+            index_params["seed"] = seed
+        if workers is not None:
+            index_params["workers"] = workers
         self._index_params = index_params
 
     @property

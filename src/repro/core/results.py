@@ -13,13 +13,24 @@ from dataclasses import dataclass, field
 
 @dataclass
 class QueryStats:
-    """Work accounting for one top-k query."""
+    """Work accounting for one top-k query.
+
+    Engines fill only the fields that apply to them: the NB-Index reports
+    tree-search counters (``nodes_popped``, ``pruned_subtrees``, ...), the
+    greedy baselines gain-evaluation counters (``gain_evaluations``,
+    ``reheap_count``); everything else stays at zero.
+    """
 
     distance_calls: int = 0
     candidate_verifications: int = 0
+    candidates_generated: int = 0
     exact_neighborhoods: int = 0
     nodes_popped: int = 0
     leaves_evaluated: int = 0
+    pruned_subtrees: int = 0
+    batch_decrements: int = 0
+    gain_evaluations: int = 0
+    reheap_count: int = 0
     init_seconds: float = 0.0
     search_seconds: float = 0.0
     update_seconds: float = 0.0
@@ -27,6 +38,14 @@ class QueryStats:
     @property
     def total_seconds(self) -> float:
         return self.init_seconds + self.search_seconds + self.update_seconds
+
+    def stats(self) -> dict:
+        """Statable protocol: every counter/timer as a plain dict."""
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["total_seconds"] = self.total_seconds
+        return out
 
 
 @dataclass

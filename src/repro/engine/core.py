@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ged.metric import _pair_key
 from repro.graphs.graph import LabeledGraph
 from repro.utils.validation import require
@@ -118,6 +119,7 @@ class DistanceEngine:
         self._base_distance = unwrap_distance(distance)
         self._evaluator = batch_evaluator_for(distance)
         self._pool = None
+        self._pool_observed = False
         self._cache: dict[tuple, float] = {}
         self.reset()
 
@@ -220,8 +222,10 @@ class DistanceEngine:
         value = self._cache.get(key)
         if value is not None:
             self.cache_hits += 1
+            obs.counter("engine.cache_hits")
             return value
         self.evaluations += 1
+        obs.counter("engine.evaluations")
         if self._evaluator is not None:
             value = float(self._evaluator.one_to_many(a, [b])[0])
         else:
@@ -238,6 +242,7 @@ class DistanceEngine:
         out = np.empty(len(targets), dtype=np.float64)
         if not targets:
             return out
+        hits_before = self.cache_hits
         source_graph = self._resolve(source)
         miss_positions: dict[tuple, list[int]] = {}
         miss_refs: list = []
@@ -261,12 +266,15 @@ class DistanceEngine:
                 self._cache[key] = value
                 for position in positions:
                     out[position] = value
+        if self.cache_hits != hits_before:
+            obs.counter("engine.cache_hits", self.cache_hits - hits_before)
         return out
 
     def pairs(self, pairlist) -> np.ndarray:
         """Distances for an explicit ``[(a, b), ...]`` list of pairs."""
         pairlist = list(pairlist)
         out = np.empty(len(pairlist), dtype=np.float64)
+        hits_before = self.cache_hits
         miss_positions: dict[tuple, list[int]] = {}
         miss_refs: list = []
         for position, (ref_a, ref_b) in enumerate(pairlist):
@@ -289,6 +297,8 @@ class DistanceEngine:
                 self._cache[key] = value
                 for position in positions:
                     out[position] = value
+        if self.cache_hits != hits_before:
+            obs.counter("engine.cache_hits", self.cache_hits - hits_before)
         return out
 
     def matrix(self, items=None) -> np.ndarray:
@@ -335,12 +345,18 @@ class DistanceEngine:
         source_row = coords[int(source)]
         lower = np.max(np.abs(coords[target_ids] - source_row), axis=1)
         undecided = lower <= theta + eps
-        self.prefilter_lower_rejections += int(np.count_nonzero(~undecided))
+        rejected = int(np.count_nonzero(~undecided))
+        self.prefilter_lower_rejections += rejected
         upper = np.min(coords[target_ids] + source_row, axis=1)
         accepted = undecided & (upper <= theta + eps)
-        self.prefilter_upper_accepts += int(np.count_nonzero(accepted))
+        accepts = int(np.count_nonzero(accepted))
+        self.prefilter_upper_accepts += accepts
         mask[accepted] = True
         remaining = np.flatnonzero(undecided & ~accepted)
+        obs.counter("engine.prefilter.candidates", len(targets))
+        obs.counter("engine.prefilter.lower_rejections", rejected)
+        obs.counter("engine.prefilter.upper_accepts", accepts)
+        obs.counter("engine.prefilter.verified", int(remaining.size))
         if remaining.size:
             distances = self.one_to_many(
                 source, [int(target_ids[r]) for r in remaining]
@@ -355,10 +371,29 @@ class DistanceEngine:
         if self._pool is None:
             from repro.engine.pool import create_pool
 
+            self._pool_observed = obs.enabled()
             self._pool = create_pool(
-                self.pool_workers, self._base_distance, self._graphs
+                self.pool_workers, self._base_distance, self._graphs,
+                observe=self._pool_observed,
             )
         return self._pool
+
+    def _pool_map(self, task, payloads, pairs: int):
+        """Fan a batch out over the pool, merging worker metric deltas."""
+        self.parallel_batches += len(payloads)
+        obs.counter("engine.pool.batches")
+        obs.counter("engine.pool.chunks", len(payloads))
+        with obs.span("engine.pool.map", chunks=len(payloads), pairs=pairs), \
+                obs.timer("engine.pool.map_seconds"):
+            results = self._ensure_pool().map(task, payloads)
+            if self._pool_observed:
+                # Merging inside the span nests worker chunk spans under it.
+                blocks = []
+                for block, state in results:
+                    obs.merge_state(state, worker=True)
+                    blocks.append(block)
+                return blocks
+        return results
 
     def _chunk(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -371,6 +406,9 @@ class DistanceEngine:
         self.batches += 1
         count = len(miss_refs)
         self.evaluations += count
+        obs.counter("engine.batches")
+        obs.counter("engine.evaluations", count)
+        obs.histogram("engine.batch_size", count)
         if self.pool_workers > 1 and count >= self.parallel_threshold:
             from repro.engine.pool import run_one_to_many
 
@@ -382,8 +420,7 @@ class DistanceEngine:
                 )
                 for k in range(0, count, chunk)
             ]
-            self.parallel_batches += len(payloads)
-            results = self._ensure_pool().map(run_one_to_many, payloads)
+            results = self._pool_map(run_one_to_many, payloads, count)
             return [value for block in results for value in block]
         graphs = [graph for _, graph in miss_refs]
         if self._evaluator is not None:
@@ -394,6 +431,9 @@ class DistanceEngine:
         self.batches += 1
         count = len(miss_refs)
         self.evaluations += count
+        obs.counter("engine.batches")
+        obs.counter("engine.evaluations", count)
+        obs.histogram("engine.batch_size", count)
         if self.pool_workers > 1 and count >= self.parallel_threshold:
             from repro.engine.pool import run_pairs
 
@@ -405,8 +445,7 @@ class DistanceEngine:
                 ]
                 for k in range(0, count, chunk)
             ]
-            self.parallel_batches += len(payloads)
-            results = self._ensure_pool().map(run_pairs, payloads)
+            results = self._pool_map(run_pairs, payloads, count)
             return [value for block in results for value in block]
         out: list[float] = []
         position = 0

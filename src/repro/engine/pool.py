@@ -12,22 +12,37 @@ a few bytes per graph), or pickled :class:`LabeledGraph` objects for
 free-standing graphs.  Each worker lazily builds its own batch evaluator
 (see :mod:`repro.engine.starbatch`), so chunks are evaluated with the same
 fast path — and therefore the same bits — as the serial engine.
+
+When the parent has observability on (:mod:`repro.obs`) at pool-creation
+time, each worker installs its *own* fresh registry (``fork`` would
+otherwise leave it sharing a copy of the parent's data), wraps every chunk
+in an ``engine.worker.chunk`` span, and ships its metric/span delta back
+alongside the task result; the engine merges those deltas as the map
+joins, so pool fan-out never loses counts.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 #: Per-process worker state, set once by :func:`_init_worker`.
 _STATE: dict = {}
 
 
-def _init_worker(distance, graphs) -> None:
+def _init_worker(distance, graphs, observe: bool = False) -> None:
     from repro.engine.starbatch import batch_evaluator_for
 
     _STATE["distance"] = distance
     _STATE["graphs"] = graphs
     _STATE["evaluator"] = batch_evaluator_for(distance)
+    _STATE["observe"] = observe
+    if observe:
+        from repro import obs
+
+        # A fresh registry: with the fork start method the worker inherits
+        # the parent's (already populated) registry object.
+        obs.enable(fresh=True)
 
 
 def _resolve(ref):
@@ -37,8 +52,28 @@ def _resolve(ref):
     return ref
 
 
+def _observed(task, payload, pairs: int):
+    """Run one chunk under a worker span; return ``(result, delta)``."""
+    from repro import obs
+
+    with obs.span("engine.worker.chunk", pairs=pairs, pid=os.getpid()):
+        obs.counter("engine.worker.chunks")
+        obs.counter("engine.worker.pairs", pairs)
+        result = task(payload)
+    return result, obs.export_state(reset_after=True)
+
+
 def run_one_to_many(payload) -> list[float]:
-    """Worker task: ``(source_ref, [target_ref, ...]) -> [distance, ...]``."""
+    """Worker task: ``(source_ref, [target_ref, ...]) -> [distance, ...]``.
+
+    With observability on, returns ``([distance, ...], obs_delta)``.
+    """
+    if _STATE.get("observe"):
+        return _observed(_run_one_to_many, payload, len(payload[1]))
+    return _run_one_to_many(payload)
+
+
+def _run_one_to_many(payload) -> list[float]:
     source_ref, target_refs = payload
     source = _resolve(source_ref)
     targets = [_resolve(ref) for ref in target_refs]
@@ -54,7 +89,14 @@ def run_pairs(payload) -> list[float]:
 
     Consecutive pairs sharing a left graph are grouped so the batch
     evaluator amortizes the source-side work (matrix rows arrive this way).
+    With observability on, returns ``([distance, ...], obs_delta)``.
     """
+    if _STATE.get("observe"):
+        return _observed(_run_pairs, payload, len(payload))
+    return _run_pairs(payload)
+
+
+def _run_pairs(payload) -> list[float]:
     evaluator = _STATE["evaluator"]
     distance = _STATE["distance"]
     out: list[float] = []
@@ -74,12 +116,14 @@ def run_pairs(payload) -> list[float]:
     return out
 
 
-def create_pool(workers: int, distance, graphs: Sequence | None):
+def create_pool(workers: int, distance, graphs: Sequence | None, observe: bool = False):
     """Create the process pool (lazy ``multiprocessing`` import).
 
     Prefers the ``fork`` start method — workers then inherit the distance
     and graph list without pickling; other start methods work as long as
-    both are picklable (true for every distance in this library).
+    both are picklable (true for every distance in this library).  With
+    ``observe=True`` workers record their own metrics and return them
+    alongside each task result (see module docstring).
     """
     import multiprocessing
 
@@ -90,5 +134,5 @@ def create_pool(workers: int, distance, graphs: Sequence | None):
     return context.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(distance, list(graphs) if graphs is not None else None),
+        initargs=(distance, list(graphs) if graphs is not None else None, observe),
     )

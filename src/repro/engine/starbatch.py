@@ -37,6 +37,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linear_sum_assignment
 
+from repro import obs
 from repro.ged.metric import CachingDistance, CountingDistance
 from repro.ged.star import StarDistance
 from repro.graphs.graph import LabeledGraph
@@ -135,6 +136,8 @@ class BatchStarEvaluator:
         out = np.empty(len(others), dtype=np.float64)
         if not len(others):
             return out
+        obs.counter("ged.star.batch_calls")
+        obs.counter("ged.star.batch_pairs", len(others))
         source = self._profile(g)
         profiles = [self._profile(h) for h in others]
         n_g = len(source.roots)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro import obs
 from repro.ged.costs import UNIT_COSTS, UnitCostModel
 from repro.graphs.graph import LabeledGraph
 from repro.utils.validation import require
@@ -48,12 +49,14 @@ class BeamGED:
         self.costs = costs
 
     def __call__(self, g1: LabeledGraph, g2: LabeledGraph) -> float:
+        obs.counter("ged.beam.calls")
         n1, n2 = g1.num_nodes, g2.num_nodes
         costs = self.costs
         order = sorted(range(n1), key=g1.degree, reverse=True)
 
         # Each beam entry: (cost_so_far, mapping tuple over g2 ids/_DELETED)
         beam: list[tuple[float, tuple[int, ...]]] = [(0.0, ())]
+        expansions = 0
         for i in range(n1):
             u = order[i]
             u_label = g1.node_label(u)
@@ -85,7 +88,9 @@ class BeamGED:
                     if g1.has_edge(u, order[j]):
                         step += costs.edge_indel(g1.edge_label(u, order[j]))
                 candidates.append((cost_so_far + step, mapping + (_DELETED,)))
+            expansions += len(candidates)
             beam = heapq.nsmallest(self.beam_width, candidates)
+        obs.counter("ged.beam.expansions", expansions)
 
         best = float("inf")
         for cost_so_far, mapping in beam:

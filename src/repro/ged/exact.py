@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
+from repro import obs
 from repro.ged.costs import UNIT_COSTS, UnitCostModel
 from repro.graphs.graph import LabeledGraph
 
@@ -56,6 +57,7 @@ class ExactGED:
         The ``limit`` short-circuit makes range queries (``d ≤ θ``?) cheap:
         once every frontier state has ``f > limit`` the search stops.
         """
+        obs.counter("ged.exact.calls")
         return _astar_ged(g1, g2, self.costs, limit)
 
     def within(self, g1: LabeledGraph, g2: LabeledGraph, threshold: float) -> bool:
@@ -133,9 +135,12 @@ def _astar_ged(
         return _INF
     heap: list[tuple] = [(start_h, next(counter), 0.0, 0, (), {}, 0)]
 
+    expanded = 0
     while heap:
         f, _, g_cost, i, mapping, used_labels, decided_e2 = heapq.heappop(heap)
+        expanded += 1
         if f > limit:
+            obs.counter("ged.exact.expansions", expanded)
             return _INF
         if i == n1:
             # Completion: insert all unused g2 vertices and every g2 edge
@@ -150,6 +155,7 @@ def _astar_ged(
                     completion += costs.edge_indel(label)
             total = g_cost + completion
             if total <= limit:
+                obs.counter("ged.exact.expansions", expanded)
                 return total
             continue
 
@@ -206,6 +212,7 @@ def _astar_ged(
                  used_labels, decided_e2),
             )
 
+    obs.counter("ged.exact.expansions", expanded)
     return _INF
 
 

@@ -36,6 +36,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 from scipy.spatial.distance import cdist
 
+from repro import obs
 from repro.graphs.graph import LabeledGraph
 
 #: Off-diagonal padding cost — larger than any real star cost can be.
@@ -155,6 +156,7 @@ class StarDistance:
         return rows, cols, value
 
     def __call__(self, g1: LabeledGraph, g2: LabeledGraph) -> float:
+        obs.counter("ged.star.calls")
         if g1.num_nodes == 0 and g2.num_nodes == 0:
             return 0.0
         _, _, value = self.assignment(g1, g2)

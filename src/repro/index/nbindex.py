@@ -39,16 +39,18 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.core.results import QueryResult, QueryStats
 from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
 from repro.index.nbtree import NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds
 from repro.index.vantage import VantageEmbedding, select_vantage_points
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import resolve_seed
 from repro.utils.validation import require, require_positive
 
 _EPS = 1e-9
@@ -67,11 +69,12 @@ class NBIndex:
         self,
         database: GraphDatabase,
         distance: GraphDistanceFn,
+        *,
         embedding: VantageEmbedding,
         tree: NBTree,
         ladder: ThresholdLadder,
         counting: CountingDistance,
-        build_seconds: float,
+        build_seconds: float = 0.0,
     ):
         self.database = database
         self.distance = distance
@@ -96,14 +99,16 @@ class NBIndex:
         cls,
         database: GraphDatabase,
         distance: GraphDistanceFn,
+        *,
         num_vantage_points: int = 20,
         branching: int = 8,
         thresholds: ThresholdLadder | None = None,
-        rng=None,
+        seed=None,
         vp_strategy: str = "random",
         validate_metric: bool = False,
         workers: int | None = None,
         engine=None,
+        rng=None,
     ) -> "NBIndex":
         """Build the index: select VPs, embed the database, cluster it.
 
@@ -122,12 +127,15 @@ class NBIndex:
         ``REPRO_ENGINE_WORKERS`` environment variable, defaulting to
         serial; the built index is identical for every worker count.  Pass
         a prebuilt ``engine`` to share its cache across builds.
+
+        ``seed`` (an int or a numpy Generator) drives vantage/pivot
+        selection; ``rng`` is its deprecated alias.
         """
         require_positive(num_vantage_points, "num_vantage_points")
         require(len(database) > 0, "cannot index an empty database")
         from repro.engine import DistanceEngine
 
-        rng = ensure_rng(rng)
+        rng = resolve_seed(seed, rng, "NBIndex.build")
         if engine is None:
             engine = DistanceEngine(
                 distance, workers=workers, graphs=database.graphs
@@ -136,40 +144,95 @@ class NBIndex:
             _spot_check_metric(database, engine, rng)
 
         started = time.perf_counter()
-        vp_count = min(num_vantage_points, len(database))
-        vp_indices = select_vantage_points(
-            database.graphs, vp_count, rng=rng, strategy=vp_strategy,
-            distance=engine, engine=engine,
-        )
-        embedding = VantageEmbedding(
-            database.graphs, vp_indices, engine, engine=engine
-        )
-        engine.attach_embedding(embedding)
-        if thresholds is None:
-            if len(database) < 2:
-                thresholds = ThresholdLadder([1.0])
-            else:
-                thresholds = choose_thresholds(
-                    database.graphs, engine, count=10,
-                    num_pairs=min(1000, len(database) * 4), rng=rng,
-                    engine=engine,
+        with obs.span(
+            "index.build", n=len(database), branching=branching,
+        ) as build_span:
+            vp_count = min(num_vantage_points, len(database))
+            build_span.set(num_vantage_points=vp_count)
+            with obs.span("index.vantage_select", strategy=vp_strategy), \
+                    obs.timer("index.vantage_select_seconds"):
+                vp_indices = select_vantage_points(
+                    database.graphs, vp_count, rng=rng, strategy=vp_strategy,
+                    distance=engine, engine=engine,
                 )
-        tree = NBTree(
-            database.graphs, engine, embedding, branching=branching, rng=rng,
-            engine=engine,
-        )
+            with obs.span("index.embed"), obs.timer("index.embed_seconds"):
+                embedding = VantageEmbedding(
+                    database.graphs, vp_indices, engine, engine=engine
+                )
+            engine.attach_embedding(embedding)
+            if thresholds is None:
+                with obs.span("index.ladder"), obs.timer("index.ladder_seconds"):
+                    if len(database) < 2:
+                        thresholds = ThresholdLadder([1.0])
+                    else:
+                        thresholds = choose_thresholds(
+                            database.graphs, engine, count=10,
+                            num_pairs=min(1000, len(database) * 4), rng=rng,
+                            engine=engine,
+                        )
+            with obs.span("index.tree_build") as tree_span, \
+                    obs.timer("index.tree_build_seconds"):
+                tree = NBTree(
+                    database.graphs, engine, embedding, branching=branching,
+                    rng=rng, engine=engine,
+                )
+                tree_span.set(nodes=tree.num_nodes)
+            obs.counter("index.tree.exact_distances", tree.stats.exact_distances)
+            obs.counter("index.tree.pruned_by_vantage", tree.stats.pruned_by_vantage)
         build_seconds = time.perf_counter() - started
+        obs.observe_time("index.build_seconds", build_seconds)
         return cls(
-            database, engine, embedding, tree, thresholds, engine,
-            build_seconds,
+            database, engine, embedding=embedding, tree=tree,
+            ladder=thresholds, counting=engine, build_seconds=build_seconds,
         )
+
+    def stats(self) -> dict:
+        """Statable protocol: one plain dict covering the whole index.
+
+        Replaces the old ``distance_calls`` property and ``memory_bytes()``
+        method (both still work, with a :class:`DeprecationWarning`) and
+        nests the engine's and tree-build accounting.
+        """
+        out = {
+            "num_graphs": len(self.database),
+            "num_vantage_points": self.embedding.num_vantage_points,
+            "branching": self.tree.branching,
+            "tree_nodes": self.tree.num_nodes,
+            "ladder_thresholds": len(self.ladder),
+            "build_seconds": self.build_seconds,
+            "distance_calls": self._counting.calls,
+            "memory_bytes": self._memory_bytes(),
+            "tree_build": {
+                "exact_distances": self.tree.stats.exact_distances,
+                "pruned_by_vantage": self.tree.stats.pruned_by_vantage,
+            },
+        }
+        if self.engine is not None and hasattr(self.engine, "stats"):
+            out["engine"] = dict(self.engine.stats())
+        return out
 
     @property
     def distance_calls(self) -> int:
-        """Distinct edit-distance evaluations since construction began."""
+        """Deprecated: use ``stats()['distance_calls']``."""
+        warnings.warn(
+            "NBIndex.distance_calls is deprecated; use "
+            "NBIndex.stats()['distance_calls']",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._counting.calls
 
     def memory_bytes(self) -> int:
+        """Deprecated: use ``stats()['memory_bytes']``."""
+        warnings.warn(
+            "NBIndex.memory_bytes() is deprecated; use "
+            "NBIndex.stats()['memory_bytes']",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._memory_bytes()
+
+    def _memory_bytes(self) -> int:
         """Approximate resident size of the index structures (Fig. 6(l)).
 
         Counts the vantage-coordinate matrix and, per tree node, the member
@@ -194,8 +257,17 @@ class NBIndex:
         """
         return QuerySession(self, query_fn)
 
+    #: Keyword arguments :meth:`QuerySession.query` accepts beyond (θ, k).
+    _QUERY_KWARGS = frozenset({"stop_on_zero_gain", "enable_updates"})
+
     def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
         """One-shot top-k representative query (fresh session)."""
+        unknown = set(kwargs) - self._QUERY_KWARGS
+        if unknown:
+            raise TypeError(
+                f"NBIndex.query() got unexpected keyword arguments "
+                f"{sorted(unknown)}; accepted: {sorted(self._QUERY_KWARGS)}"
+            )
         return self.session(query_fn).query(theta, k, **kwargs)
 
     def set_ladder(self, ladder: ThresholdLadder) -> None:
@@ -287,6 +359,24 @@ class NBIndex:
         )
 
 
+def _record_query_stats(stats: QueryStats) -> None:
+    """Mirror one query's :class:`QueryStats` into the active registry."""
+    if not obs.enabled():
+        return
+    obs.counter("query.count")
+    obs.counter("query.distance_calls", stats.distance_calls)
+    obs.counter("query.candidates_generated", stats.candidates_generated)
+    obs.counter("query.candidate_verifications", stats.candidate_verifications)
+    obs.counter("query.exact_neighborhoods", stats.exact_neighborhoods)
+    obs.counter("query.nodes_popped", stats.nodes_popped)
+    obs.counter("query.leaves_evaluated", stats.leaves_evaluated)
+    obs.counter("query.pruned_subtrees", stats.pruned_subtrees)
+    obs.counter("query.batch_decrements", stats.batch_decrements)
+    obs.observe_time("query.init_seconds", stats.init_seconds)
+    obs.observe_time("query.search_seconds", stats.search_seconds)
+    obs.observe_time("query.update_seconds", stats.update_seconds)
+
+
 def _spot_check_metric(database, distance, rng, num_triples: int = 25) -> None:
     """Sample triples and verify the metric axioms; raise on violation."""
     n = len(database)
@@ -332,6 +422,7 @@ class QuerySession:
         self._collect_relevant(index.tree.root)
         self._pi_hat_columns: dict[int | None, np.ndarray] = {}
         self.init_seconds = time.perf_counter() - started
+        obs.observe_time("query.session_init_seconds", self.init_seconds)
 
     # -- initialization ------------------------------------------------
     def _collect_relevant(self, node: NBTreeNode) -> frozenset[int]:
@@ -388,43 +479,46 @@ class QuerySession:
         require_positive(k, "k")
         index = self.index
         stats = QueryStats(init_seconds=self.init_seconds)
-        calls_before = index.distance_calls
+        calls_before = index._counting.calls
 
-        started = time.perf_counter()
-        ladder_index = index.ladder.index_for(theta)
-        column = self.pi_hat_column(ladder_index)
-        bounds = self._initial_bounds(column)
-        stats.init_seconds += time.perf_counter() - started
+        with obs.span("index.query", theta=theta, k=k) as query_span:
+            started = time.perf_counter()
+            ladder_index = index.ladder.index_for(theta)
+            column = self.pi_hat_column(ladder_index)
+            bounds = self._initial_bounds(column)
+            stats.init_seconds += time.perf_counter() - started
 
-        covered: set[int] = set()
-        answer: list[int] = []
-        gains: list[int] = []
-        neighborhoods: dict[int, frozenset[int]] = {}
+            covered: set[int] = set()
+            answer: list[int] = []
+            gains: list[int] = []
+            neighborhoods: dict[int, frozenset[int]] = {}
 
-        for _ in range(min(k, self.relevant.size)):
-            search_started = time.perf_counter()
-            best, best_gain = self._search(
-                theta, bounds, covered, neighborhoods, stats
-            )
-            stats.search_seconds += time.perf_counter() - search_started
-            if best is None:
-                break
-            newly = neighborhoods[best] - covered
-            if not newly and stop_on_zero_gain:
-                break
-            answer.append(best)
-            gains.append(len(newly))
-            covered |= newly
-            bounds[index._leaf_of[best].node_id] = _NEG_INF
-            update_started = time.perf_counter()
-            if newly and enable_updates:
-                self._update(
-                    index.tree.root, best, newly, theta, bounds,
-                    covered, neighborhoods, stats,
+            for _ in range(min(k, self.relevant.size)):
+                search_started = time.perf_counter()
+                best, best_gain = self._search(
+                    theta, bounds, covered, neighborhoods, stats
                 )
-            stats.update_seconds += time.perf_counter() - update_started
+                stats.search_seconds += time.perf_counter() - search_started
+                if best is None:
+                    break
+                newly = neighborhoods[best] - covered
+                if not newly and stop_on_zero_gain:
+                    break
+                answer.append(best)
+                gains.append(len(newly))
+                covered |= newly
+                bounds[index._leaf_of[best].node_id] = _NEG_INF
+                update_started = time.perf_counter()
+                if newly and enable_updates:
+                    self._update(
+                        index.tree.root, best, newly, theta, bounds,
+                        covered, neighborhoods, stats,
+                    )
+                stats.update_seconds += time.perf_counter() - update_started
 
-        stats.distance_calls = index.distance_calls - calls_before
+            stats.distance_calls = index._counting.calls - calls_before
+            query_span.set(answer_size=len(answer))
+            _record_query_stats(stats)
         return QueryResult(
             answer=answer,
             gains=gains,
@@ -466,6 +560,7 @@ class QuerySession:
             return cached
         index = self.index
         candidates = index.embedding.candidates(gid, theta + _EPS, self.relevant)
+        stats.candidates_generated += int(candidates.size)
         verified = set()
         if index.engine is not None:
             others = [int(c) for c in candidates if int(c) != gid]
@@ -578,6 +673,7 @@ class QuerySession:
             index.database[selected], index.database[node.centroid]
         )
         if centroid_distance - node.radius > 2.0 * theta + _EPS:
+            stats.pruned_subtrees += 1
             return  # Theorem 6: no member's neighborhood changed.
         if node.is_leaf:
             gid = node.graph_index
@@ -598,6 +694,7 @@ class QuerySession:
             # cluster, so each loses the newly covered relevant members.
             decrement = len(self._node_relevant[node.node_id] & newly)
             if decrement:
+                stats.batch_decrements += 1
                 bounds[node.node_id] = max(
                     0.0, bounds[node.node_id] - float(decrement)
                 )

@@ -156,7 +156,8 @@ def load_index(
 
     engine.attach_embedding(embedding)
     return NBIndex(
-        database, engine, embedding, tree, ladder, engine, build_seconds
+        database, engine, embedding=embedding, tree=tree, ladder=ladder,
+        counting=engine, build_seconds=build_seconds,
     )
 
 

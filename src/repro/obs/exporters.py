@@ -1,0 +1,112 @@
+"""Exporters: the metrics document, JSON, and Prometheus text format.
+
+The *metrics document* is the single serialized artifact of an observed
+run: a schema-tagged dict bundling the registry snapshot and the finished
+span tree.  ``repro query --metrics out.json`` writes it, the benchmark
+harness writes one sidecar per experiment, and
+``scripts/validate_metrics.py`` checks it against
+``scripts/metrics_schema.json`` in CI.
+
+Prometheus output follows the text exposition format: counters and gauges
+verbatim, timers as ``summary`` (``_count``/``_sum``), histograms as
+cumulative ``_bucket{le=...}`` series ending in ``+Inf``.  Metric names are
+sanitized (dots become underscores) and prefixed ``repro_``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+#: Schema identifier stamped into every exported document.
+SCHEMA = "repro.obs/v1"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metrics_document(include_spans: bool = True) -> dict:
+    """The current registry snapshot + span tree as one plain dict."""
+    from repro import obs
+
+    return {
+        "schema": SCHEMA,
+        "metrics": obs.get_registry().snapshot(),
+        "spans": obs.get_tracer().snapshot() if include_spans else [],
+    }
+
+
+def to_json(document: dict | None = None, include_spans: bool = True) -> str:
+    """Serialize a metrics document (default: the live one) as JSON."""
+    if document is None:
+        document = metrics_document(include_spans=include_spans)
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.10g}"
+    return str(value)
+
+
+def to_prometheus(metrics: dict | None = None) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    if metrics is None:
+        from repro import obs
+
+        metrics = obs.get_registry().snapshot()
+    lines: list[str] = []
+    for name in sorted(metrics.get("counters", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(metrics['counters'][name])}")
+    for name in sorted(metrics.get("gauges", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(metrics['gauges'][name])}")
+    for name in sorted(metrics.get("timers", {})):
+        metric = _metric_name(name)
+        entry = metrics["timers"][name]
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_format_value(entry['count'])}")
+        lines.append(f"{metric}_sum {_format_value(entry['sum'] if 'sum' in entry else entry['total'])}")
+    for name in sorted(metrics.get("histograms", {})):
+        metric = _metric_name(name)
+        entry = metrics["histograms"][name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{_format_value(cumulative)}"
+            )
+        cumulative += entry["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {_format_value(cumulative)}')
+        lines.append(f"{metric}_sum {_format_value(entry['sum'])}")
+        lines.append(f"{metric}_count {_format_value(entry['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics(path, include_spans: bool = True) -> Path:
+    """Write the live metrics to ``path``.
+
+    The format follows the suffix: ``.prom`` gets Prometheus text, anything
+    else the JSON metrics document.
+    """
+    path = Path(path)
+    if path.suffix == ".prom":
+        path.write_text(to_prometheus())
+    else:
+        path.write_text(to_json(include_spans=include_spans))
+    return path

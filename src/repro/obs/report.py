@@ -1,0 +1,104 @@
+"""Human-readable rendering of an observed run.
+
+:func:`report` prints the registry's counters/gauges/timers/histograms as
+aligned text plus the span tree with per-span wall times — the quick look
+at where an index build or a query spent its time and its distance calls,
+without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={_format_number(v)}" for k, v in attrs.items())
+    return f"  [{inner}]"
+
+
+def _render_span(record: dict, indent: int, lines: list[str]) -> None:
+    lines.append(
+        f"{'  ' * indent}- {record['name']}  {record['seconds']:.4f}s"
+        f"{_format_attrs(record.get('attrs', {}))}"
+    )
+    for child in record.get("children", []):
+        _render_span(child, indent + 1, lines)
+
+
+def render(document: dict | None = None) -> str:
+    """Render a metrics document (default: the live one) as text."""
+    from repro.obs.exporters import metrics_document
+
+    if document is None:
+        document = metrics_document()
+    metrics = document.get("metrics", {})
+    lines: list[str] = ["== observability report =="]
+
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {_format_number(counters[name])}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(width)}  {_format_number(gauges[name])}")
+    timers = metrics.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        width = max(len(name) for name in timers)
+        for name in sorted(timers):
+            entry = timers[name]
+            lines.append(
+                f"  {name.ljust(width)}  n={entry['count']} "
+                f"total={entry['total']:.4f}s mean={entry['mean']:.4f}s "
+                f"max={entry['max']:.4f}s"
+            )
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            entry = histograms[name]
+            bounds = [_format_number(b) for b in entry["buckets"]] + ["inf"]
+            cells = ", ".join(
+                f"≤{bound}: {count}"
+                for bound, count in zip(bounds, entry["counts"])
+                if count
+            )
+            lines.append(
+                f"  {name}  n={entry['count']} sum={_format_number(entry['sum'])}"
+            )
+            if cells:
+                lines.append(f"    {cells}")
+
+    spans = document.get("spans", [])
+    if spans:
+        lines.append("spans:")
+        for record in spans:
+            _render_span(record, 1, lines)
+
+    if len(lines) == 1:
+        lines.append("(nothing recorded — is observability enabled?)")
+    return "\n".join(lines) + "\n"
+
+
+def report(document: dict | None = None, file=None) -> str:
+    """Pretty-print the report (default: to stdout); returns the text."""
+    text = render(document)
+    print(text, end="", file=file if file is not None else sys.stdout)
+    return text

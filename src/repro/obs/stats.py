@@ -1,0 +1,47 @@
+"""The :class:`Statable` protocol — one shape for every stats surface.
+
+Historically the library grew three inconsistent ways to ask "how much
+work happened": ``NBIndex.distance_calls``/``memory_bytes`` (property +
+method), ``CountingDistance.stats()``/``CachingDistance.stats()`` (dicts),
+and :class:`~repro.core.results.QueryStats` (a dataclass).  They are now
+unified: anything observable implements ``stats() -> dict`` of plain,
+JSON-safe values, and :func:`collect_stats` gathers several components
+into one nested document.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Statable(Protocol):
+    """Anything that reports its work as a plain dict.
+
+    Implementors: :class:`~repro.engine.DistanceEngine`,
+    :class:`~repro.ged.metric.CountingDistance`,
+    :class:`~repro.ged.metric.CachingDistance`,
+    :class:`~repro.index.nbindex.NBIndex`,
+    :class:`~repro.core.results.QueryStats`,
+    :class:`~repro.obs.registry.MetricsRegistry`, and the M-/C-tree
+    baselines.  The dict must contain only JSON-serializable values
+    (numbers, strings, lists, nested dicts).
+    """
+
+    def stats(self) -> dict: ...
+
+
+def collect_stats(**components) -> dict:
+    """Snapshot several Statable components into one nested dict.
+
+    ``None`` components are skipped, so callers can pass optional layers
+    unconditionally::
+
+        collect_stats(engine=index.engine, index=index, query=result.stats)
+    """
+    collected = {}
+    for name, component in components.items():
+        if component is None:
+            continue
+        collected[name] = dict(component.stats())
+    return collected

@@ -97,6 +97,66 @@ class TestExperiment:
         assert "fig2a_disc_growth" in out
 
 
+class TestObservabilityFlags:
+    def test_query_metrics_json_and_trace(self, db_path, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        metrics_path = tmp_path / "query.metrics.json"
+        assert main([
+            "query", str(db_path), "--k", "2", "--theta", "8",
+            "--vantage-points", "4", "--branching", "3",
+            "--metrics", str(metrics_path), "--trace",
+        ]) == 0
+        assert not obs.enabled()  # the observation ends with the command
+        out = capsys.readouterr().out
+        assert "== observability report ==" in out
+        assert "index.build" in out
+        document = json.loads(metrics_path.read_text())
+        assert document["schema"] == "repro.obs/v1"
+        counters = document["metrics"]["counters"]
+        assert counters["query.count"] == 1
+        assert counters["ged.star.batch_pairs"] > 0
+        span_names = {span["name"] for span in document["spans"]}
+        assert {"index.build", "index.query"} <= span_names
+
+    def test_build_index_metrics_prometheus(self, db_path, tmp_path):
+        metrics_path = tmp_path / "build.prom"
+        assert main([
+            "build-index", str(db_path), "--output", str(tmp_path / "i.npz"),
+            "--vantage-points", "4", "--branching", "3",
+            "--metrics", str(metrics_path),
+        ]) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_ged_star_batch_pairs counter" in text
+        assert "repro_index_build_seconds_count 1" in text
+
+    def test_env_var_enables_observability(self, db_path, monkeypatch, capsys):
+        from repro import obs
+
+        monkeypatch.setenv("REPRO_OBS", "1")
+        try:
+            assert main([
+                "query", str(db_path), "--k", "2", "--theta", "8",
+                "--vantage-points", "4", "--branching", "3",
+            ]) == 0
+            assert obs.enabled()
+            assert obs.get_registry().snapshot()["counters"]["query.count"] == 1
+        finally:
+            obs.disable()
+
+    def test_no_flags_keeps_observability_off(self, db_path, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert main([
+            "query", str(db_path), "--k", "2", "--theta", "8",
+            "--vantage-points", "4", "--branching", "3",
+        ]) == 0
+        assert not obs.enabled()
+
+
 class TestParser:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

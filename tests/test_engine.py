@@ -271,7 +271,7 @@ def _build_index(workers):
     database = random_database(seed=21, size=60)
     index = NBIndex.build(
         database, StarDistance(), num_vantage_points=6, branching=4,
-        rng=5, workers=workers,
+        seed=5, workers=workers,
     )
     return database, index
 
@@ -292,7 +292,7 @@ def test_index_build_identical_across_worker_counts():
             assert np.array_equal(a.members, b.members)
         assert index1.tree.stats.exact_distances == index4.tree.stats.exact_distances
         assert index1.tree.stats.pruned_by_vantage == index4.tree.stats.pruned_by_vantage
-        assert index1.distance_calls == index4.distance_calls
+        assert index1.stats()["distance_calls"] == index4.stats()["distance_calls"]
 
         q1 = quartile_relevance(database1)
         q4 = quartile_relevance(database4)
@@ -375,14 +375,14 @@ def test_mtree_ctree_engine_equivalence(db, star):
         StarDistance(), workers=4, graphs=db.graphs, parallel_threshold=8,
         respect_cpu_count=False,
     ) as engine:
-        m_serial = MTree(db.graphs, star, capacity=5, rng=np.random.default_rng(2))
+        m_serial = MTree(db.graphs, star, capacity=5, seed=np.random.default_rng(2))
         m_batch = MTree(
-            db.graphs, star, capacity=5, rng=np.random.default_rng(2),
+            db.graphs, star, capacity=5, seed=np.random.default_rng(2),
             engine=engine,
         )
-        c_serial = CTree(db.graphs, star, capacity=5, rng=np.random.default_rng(2))
+        c_serial = CTree(db.graphs, star, capacity=5, seed=np.random.default_rng(2))
         c_batch = CTree(
-            db.graphs, star, capacity=5, rng=np.random.default_rng(2),
+            db.graphs, star, capacity=5, seed=np.random.default_rng(2),
             engine=engine,
         )
     assert m_serial.distance_calls == m_batch.distance_calls
@@ -397,7 +397,7 @@ def test_insert_invalidates_pool_and_stays_correct():
     database = random_database(seed=30, size=40)
     index = NBIndex.build(
         database, StarDistance(), num_vantage_points=4, branching=4,
-        rng=2, workers=2,
+        seed=2, workers=2,
     )
     try:
         donor = random_database(seed=31, size=1)

@@ -91,7 +91,7 @@ class TestRangeQueryBackends:
     def test_mtree_backend_equivalent(self):
         db, dist, q = _setup(seed=9, size=50)
         theta, k = 5.0, 5
-        tree = MTree(db.graphs, dist, capacity=8, rng=0)
+        tree = MTree(db.graphs, dist, capacity=8, seed=0)
         plain = baseline_greedy(db, dist, q, theta, k)
         indexed = baseline_greedy(
             db, dist, q, theta, k, range_query=tree.range_query

@@ -20,7 +20,7 @@ def _build(seed=0, size=60):
     db = random_database(seed=seed, size=size)
     dist = StarDistance()
     q = quartile_relevance(db, quantile=0.3)
-    index = NBIndex.build(db, dist, num_vantage_points=6, branching=4, rng=seed)
+    index = NBIndex.build(db, dist, num_vantage_points=6, branching=4, seed=seed)
     return db, dist, q, index
 
 
@@ -104,7 +104,7 @@ class TestRandomizedTreeEquivalence:
     def test_mtree_range_query_matches_scan(self, seed, theta):
         db = random_database(seed=seed % 100, size=30)
         dist = StarDistance()
-        tree = MTree(db.graphs, dist, capacity=4, rng=seed)
+        tree = MTree(db.graphs, dist, capacity=4, seed=seed)
         probe = seed % 30
         expected = sorted(
             j for j in range(30)
@@ -120,7 +120,7 @@ class TestRandomizedTreeEquivalence:
     def test_ctree_range_query_matches_scan(self, seed, theta):
         db = random_database(seed=seed % 100, size=30)
         dist = StarDistance()
-        tree = CTree(db.graphs, dist, capacity=4, rng=seed)
+        tree = CTree(db.graphs, dist, capacity=4, seed=seed)
         probe = (seed // 7) % 30
         expected = sorted(
             j for j in range(30)

@@ -12,7 +12,7 @@ class TestValidateMetric:
         db = random_database(seed=0, size=25)
         index = NBIndex.build(
             db, StarDistance(), num_vantage_points=3, branching=3,
-            rng=0, validate_metric=True,
+            seed=0, validate_metric=True,
         )
         assert index.tree.num_nodes > 0
 
@@ -25,7 +25,7 @@ class TestValidateMetric:
         with pytest.raises(ValueError, match="not symmetric|!= 0"):
             NBIndex.build(
                 db, asymmetric, num_vantage_points=3, branching=3,
-                rng=0, validate_metric=True,
+                seed=0, validate_metric=True,
             )
 
     def test_triangle_violation_rejected(self):
@@ -43,7 +43,7 @@ class TestValidateMetric:
         with pytest.raises(ValueError, match="triangle"):
             NBIndex.build(
                 db, non_metric, num_vantage_points=3, branching=3,
-                rng=0, validate_metric=True,
+                seed=0, validate_metric=True,
             )
 
     def test_negative_distance_rejected(self):
@@ -55,7 +55,7 @@ class TestValidateMetric:
         with pytest.raises(ValueError):
             NBIndex.build(
                 db, negative, num_vantage_points=3, branching=3,
-                rng=0, validate_metric=True,
+                seed=0, validate_metric=True,
             )
 
     def test_default_skips_validation(self):
@@ -69,6 +69,6 @@ class TestValidateMetric:
             return abs(g1.graph_id - g2.graph_id) * 0.5
 
         index = NBIndex.build(
-            db, weird, num_vantage_points=2, branching=3, rng=0,
+            db, weird, num_vantage_points=2, branching=3, seed=0,
         )
         assert index is not None

@@ -20,7 +20,7 @@ class TestRangeQueryExactness:
     def test_matches_linear_scan(self, tree_cls, seed, theta):
         db = random_database(seed=seed, size=50)
         dist = StarDistance()
-        tree = tree_cls(db.graphs, dist, capacity=6, rng=seed)
+        tree = tree_cls(db.graphs, dist, capacity=6, seed=seed)
         for gid in range(0, 50, 9):
             assert sorted(tree.range_query(gid, theta)) == _truth(
                 db, dist, gid, theta
@@ -29,7 +29,7 @@ class TestRangeQueryExactness:
     def test_external_graph_query(self, tree_cls):
         db = random_database(seed=3, size=40)
         dist = StarDistance()
-        tree = tree_cls(db.graphs, dist, capacity=6, rng=0)
+        tree = tree_cls(db.graphs, dist, capacity=6, seed=0)
         external = path_graph(["C", "N", "O", "C"])
         theta = 6.0
         expected = sorted(
@@ -40,7 +40,7 @@ class TestRangeQueryExactness:
     def test_zero_theta_returns_duplicates_only(self, tree_cls):
         db = random_database(seed=4, size=30)
         dist = StarDistance()
-        tree = tree_cls(db.graphs, dist, capacity=5, rng=0)
+        tree = tree_cls(db.graphs, dist, capacity=5, seed=0)
         hits = tree.range_query(7, 0.0)
         assert 7 in hits
         for h in hits:
@@ -49,17 +49,17 @@ class TestRangeQueryExactness:
     def test_capacity_validation(self, tree_cls):
         db = random_database(seed=5, size=10)
         with pytest.raises(ValueError):
-            tree_cls(db.graphs, StarDistance(), capacity=1, rng=0)
+            tree_cls(db.graphs, StarDistance(), capacity=1, seed=0)
 
     def test_empty_rejected(self, tree_cls):
         with pytest.raises(ValueError):
-            tree_cls([], StarDistance(), capacity=4, rng=0)
+            tree_cls([], StarDistance(), capacity=4, seed=0)
 
     def test_duplicate_graphs_handled(self, tree_cls):
         graphs = [path_graph(["C", "C"]) for _ in range(15)]
         for i, g in enumerate(graphs):
             g.graph_id = i
-        tree = tree_cls(graphs, StarDistance(), capacity=4, rng=0)
+        tree = tree_cls(graphs, StarDistance(), capacity=4, seed=0)
         assert sorted(tree.range_query(0, 0.5)) == list(range(15))
 
 
@@ -67,7 +67,7 @@ class TestPruning:
     def test_mtree_saves_distance_calls_at_query_time(self):
         db = random_database(seed=6, size=60)
         counting = CountingDistance(StarDistance())
-        tree = MTree(db.graphs, counting, capacity=8, rng=0)
+        tree = MTree(db.graphs, counting, capacity=8, seed=0)
         before = counting.calls
         tree.range_query(5, 2.0)  # small θ: heavy pruning expected
         spent = counting.calls - before
@@ -76,7 +76,7 @@ class TestPruning:
     def test_ctree_closure_bound_validity(self):
         db = random_database(seed=7, size=30)
         dist = StarDistance()
-        tree = CTree(db.graphs, dist, capacity=5, rng=0)
+        tree = CTree(db.graphs, dist, capacity=5, seed=0)
 
         def check(node):
             for member in _leaf_members(node):

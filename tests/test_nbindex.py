@@ -15,7 +15,7 @@ def _build(seed=0, size=70, **kwargs):
     db = random_database(seed=seed, size=size)
     dist = StarDistance()
     q = quartile_relevance(db, quantile=0.3)
-    params = dict(num_vantage_points=6, branching=4, rng=seed)
+    params = dict(num_vantage_points=6, branching=4, seed=seed)
     params.update(kwargs)
     index = NBIndex.build(db, dist, **params)
     return db, dist, q, index
@@ -89,7 +89,7 @@ class TestBudgetEdgeCases:
     def test_no_relevant_graphs(self):
         db = random_database(seed=8, size=30)
         dist = StarDistance()
-        index = NBIndex.build(db, dist, num_vantage_points=4, branching=3, rng=0)
+        index = NBIndex.build(db, dist, num_vantage_points=4, branching=3, seed=0)
 
         class NoneRelevant:
             def mask(self, matrix):
@@ -120,11 +120,11 @@ class TestLadderInteraction:
         db, dist, q, _ = _build(seed=11)
         theta = 4.0
         tight = NBIndex.build(
-            db, dist, num_vantage_points=6, branching=4, rng=11,
+            db, dist, num_vantage_points=6, branching=4, seed=11,
             thresholds=ThresholdLadder([theta]),
         )
         loose = NBIndex.build(
-            db, dist, num_vantage_points=6, branching=4, rng=11,
+            db, dist, num_vantage_points=6, branching=4, seed=11,
             thresholds=ThresholdLadder([1000.0]),
         )
         r_tight = tight.query(q, theta, 5)
@@ -184,12 +184,12 @@ class TestStatsAndMemory:
     def test_memory_bytes_positive_and_monotone(self):
         db_small, dist, _, index_small = _build(seed=17, size=40)
         _, _, _, index_large = _build(seed=17, size=90)
-        assert 0 < index_small.memory_bytes() < index_large.memory_bytes()
+        assert 0 < index_small.stats()["memory_bytes"] < index_large.stats()["memory_bytes"]
 
     def test_build_records_time_and_calls(self):
         _, _, _, index = _build(seed=18, size=40)
         assert index.build_seconds > 0
-        assert index.distance_calls > 0
+        assert index.stats()["distance_calls"] > 0
 
     def test_repr(self):
         _, _, _, index = _build(seed=19, size=30)

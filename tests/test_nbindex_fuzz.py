@@ -30,7 +30,7 @@ def test_random_databases_yield_valid_trajectories(seed, branching, theta, k):
     q = quartile_relevance(db, quantile=0.25)
     index = NBIndex.build(
         db, dist, num_vantage_points=int(rng.integers(1, 6)),
-        branching=branching, rng=seed,
+        branching=branching, seed=seed,
     )
     result = index.query(q, theta, k)
     assert_valid_greedy_trajectory(db, dist, q, theta, result)

@@ -1,0 +1,135 @@
+"""Exporter formats are frozen by golden files under tests/golden/.
+
+The JSON metrics document is consumed by ``scripts/validate_metrics.py``
+in CI and by anyone post-processing ``--metrics`` output; the Prometheus
+text format must stay scrape-compatible.  Regenerate the goldens with::
+
+    PYTHONPATH=src python tests/test_obs_exporters.py --regenerate
+
+after an intentional format change, and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.obs import MetricsRegistry, to_json, to_prometheus
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def reference_document() -> dict:
+    """A deterministic metrics document exercising every value type."""
+    registry = MetricsRegistry()
+    registry.counter("engine.evaluations", 675)
+    registry.counter("ged.star.calls", 1500)
+    registry.counter("query.count", 1)
+    registry.gauge("engine.cache_size", 512)
+    registry.observe("index.build_seconds", 0.25)
+    registry.observe("query.search_seconds", 0.015625)
+    registry.observe("query.search_seconds", 0.03125)
+    registry.histogram("engine.batch_size", 3, buckets=(2, 8, 32))
+    registry.histogram("engine.batch_size", 30, buckets=(2, 8, 32))
+    registry.histogram("engine.batch_size", 100, buckets=(2, 8, 32))
+    spans = [
+        {
+            "name": "index.build",
+            "seconds": 0.25,
+            "attrs": {"n": 40, "branching": 8},
+            "children": [
+                {
+                    "name": "index.embed",
+                    "seconds": 0.125,
+                    "attrs": {},
+                    "children": [],
+                },
+            ],
+        },
+        {
+            "name": "index.query",
+            "seconds": 0.0625,
+            "attrs": {"theta": 7.0, "k": 3, "answer_size": 3},
+            "children": [],
+        },
+    ]
+    return {
+        "schema": "repro.obs/v1",
+        "metrics": registry.snapshot(),
+        "spans": spans,
+    }
+
+
+def test_json_export_matches_golden():
+    document = reference_document()
+    expected = (GOLDEN_DIR / "metrics.json").read_text()
+    assert to_json(document) == expected
+
+
+def test_prometheus_export_matches_golden():
+    document = reference_document()
+    expected = (GOLDEN_DIR / "metrics.prom").read_text()
+    assert to_prometheus(document["metrics"]) == expected
+
+
+def test_golden_json_is_valid_and_schema_tagged():
+    document = json.loads((GOLDEN_DIR / "metrics.json").read_text())
+    assert document["schema"] == "repro.obs/v1"
+    assert set(document) == {"schema", "metrics", "spans"}
+    assert set(document["metrics"]) == {
+        "counters", "gauges", "timers", "histograms",
+    }
+
+
+def test_prometheus_format_invariants():
+    """Structural checks independent of the golden bytes."""
+    text = to_prometheus(reference_document()["metrics"])
+    lines = text.splitlines()
+    # Every metric is announced with a TYPE line and prefixed repro_.
+    types = [line for line in lines if line.startswith("# TYPE ")]
+    assert all(line.split()[2].startswith("repro_") for line in types)
+    kinds = {line.split()[3] for line in types}
+    assert kinds == {"counter", "gauge", "summary", "histogram"}
+    # Histogram buckets are cumulative and end at +Inf == _count.
+    buckets = [line for line in lines
+               if line.startswith("repro_engine_batch_size_bucket")]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)
+    assert '{le="+Inf"}' in buckets[-1]
+    count_line = next(line for line in lines
+                      if line.startswith("repro_engine_batch_size_count"))
+    assert counts[-1] == int(count_line.rsplit(" ", 1)[1])
+    # Metric names never contain dots.
+    for line in lines:
+        if not line.startswith("#"):
+            assert "." not in line.split("{")[0].split()[0]
+
+
+def test_write_metrics_dispatches_on_suffix(tmp_path):
+    with obs.observe():
+        obs.counter("c", 2)
+        json_path = obs.write_metrics(tmp_path / "out.json")
+        prom_path = obs.write_metrics(tmp_path / "out.prom")
+    document = json.loads(json_path.read_text())
+    assert document["metrics"]["counters"]["c"] == 2
+    assert "# TYPE repro_c counter" in prom_path.read_text()
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    document = reference_document()
+    (GOLDEN_DIR / "metrics.json").write_text(to_json(document))
+    (GOLDEN_DIR / "metrics.prom").write_text(to_prometheus(document["metrics"]))
+    print(f"wrote {GOLDEN_DIR / 'metrics.json'}")
+    print(f"wrote {GOLDEN_DIR / 'metrics.prom'}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print("use --regenerate to rewrite the golden files", file=sys.stderr)
+        sys.exit(2)

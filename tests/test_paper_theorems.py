@@ -67,7 +67,7 @@ class TestFig4StylePropagation:
 
         index = NBIndex.build(
             database, LineDistance(), num_vantage_points=2, branching=2,
-            rng=0,
+            seed=0,
         )
         return database, index
 

@@ -15,7 +15,7 @@ def _build(seed=0, size=50):
     db = random_database(seed=seed, size=size)
     dist = StarDistance()
     q = quartile_relevance(db, quantile=0.3)
-    index = NBIndex.build(db, dist, num_vantage_points=5, branching=4, rng=seed)
+    index = NBIndex.build(db, dist, num_vantage_points=5, branching=4, seed=seed)
     return db, dist, q, index
 
 
@@ -122,7 +122,7 @@ class TestInsert:
         graphs = [path_graph(["C", "C"])]
         db = GraphDatabase(graphs, np.zeros((1, 1)))
         dist = StarDistance()
-        index = NBIndex.build(db, dist, num_vantage_points=1, branching=2, rng=0)
+        index = NBIndex.build(db, dist, num_vantage_points=1, branching=2, seed=0)
         assert index.tree.root.is_leaf
         index.insert(path_graph(["C", "N"]), [1.0])
         assert not index.tree.root.is_leaf

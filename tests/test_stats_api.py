@@ -1,0 +1,176 @@
+"""The unified public stats/query API and its deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Statable
+from repro.baselines.ctree import CTree
+from repro.baselines.mtree import MTree
+from repro.ged.metric import CachingDistance, CountingDistance
+from repro.ged.star import StarDistance
+from repro.graphs import quartile_relevance
+from repro.index.nbindex import NBIndex
+from tests.conftest import random_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_database(seed=4, size=25)
+
+
+@pytest.fixture(scope="module")
+def index(db):
+    return NBIndex.build(
+        db, StarDistance(), num_vantage_points=4, branching=3, seed=0
+    )
+
+
+class TestStatableProtocol:
+    def test_every_stats_surface_is_statable(self, db, index):
+        counting = CountingDistance(StarDistance())
+        surfaces = [
+            index,
+            index.engine,
+            counting,
+            CachingDistance(counting),
+            MTree(db.graphs, StarDistance(), capacity=4, seed=0),
+            CTree(db.graphs, StarDistance(), capacity=4, seed=0),
+        ]
+        for surface in surfaces:
+            assert isinstance(surface, Statable), surface
+            stats = surface.stats()
+            assert isinstance(stats, dict) and stats
+
+    def test_query_stats_is_statable(self, db, index):
+        result = index.query(quartile_relevance(db), 6.0, 2)
+        assert isinstance(result.stats, Statable)
+        stats = result.stats.stats()
+        assert stats["distance_calls"] >= 0
+        assert "total_seconds" in stats
+
+    def test_stats_are_json_safe(self, index):
+        import json
+
+        json.dumps(index.stats())
+
+    def test_nbindex_stats_shape(self, db, index):
+        stats = index.stats()
+        assert stats["num_graphs"] == len(db)
+        assert stats["num_vantage_points"] == 4
+        assert stats["branching"] == 3
+        assert stats["tree_nodes"] >= 1
+        assert stats["distance_calls"] > 0
+        assert stats["memory_bytes"] > 0
+        assert "engine" in stats
+
+    def test_collect_stats_nests_and_skips_none(self, index):
+        from repro.obs import collect_stats
+
+        document = collect_stats(index=index, engine=index.engine, absent=None)
+        assert set(document) == {"index", "engine"}
+        assert document["index"]["distance_calls"] > 0
+
+
+class TestDeprecationShims:
+    def test_nbindex_distance_calls_property_warns(self, index):
+        with pytest.warns(DeprecationWarning, match="distance_calls"):
+            value = index.distance_calls
+        assert value == index.stats()["distance_calls"]
+
+    def test_nbindex_memory_bytes_method_warns(self, index):
+        with pytest.warns(DeprecationWarning, match="memory_bytes"):
+            value = index.memory_bytes()
+        assert value == index.stats()["memory_bytes"]
+
+    def test_build_rng_alias_warns_and_matches_seed(self, db):
+        with pytest.warns(DeprecationWarning, match="rng"):
+            via_rng = NBIndex.build(
+                db, StarDistance(), num_vantage_points=3, branching=3, rng=9
+            )
+        via_seed = NBIndex.build(
+            db, StarDistance(), num_vantage_points=3, branching=3, seed=9
+        )
+        assert np.array_equal(
+            via_rng.embedding.coords, via_seed.embedding.coords
+        )
+
+    def test_build_rejects_both_seed_and_rng(self, db):
+        with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
+            NBIndex.build(db, StarDistance(), seed=1, rng=2)
+
+    @pytest.mark.parametrize("tree_cls", [MTree, CTree])
+    def test_tree_rng_alias_warns(self, db, tree_cls):
+        with pytest.warns(DeprecationWarning, match="rng"):
+            tree_cls(db.graphs, StarDistance(), capacity=4, rng=0)
+
+    def test_facade_rng_alias_warns(self, db):
+        with pytest.warns(DeprecationWarning, match="rng"):
+            repro.TopKRepresentativeQuery(db, rng=3)
+
+    def test_greedy_seed_free_paths_do_not_warn(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.baseline_greedy(
+                db, StarDistance(), quartile_relevance(db), 6.0, 2
+            )
+            repro.lazy_greedy(
+                db, StarDistance(), quartile_relevance(db), 6.0, 2
+            )
+
+
+class TestKeywordOnlySignatures:
+    def test_build_rejects_positional_hyperparams(self, db):
+        with pytest.raises(TypeError):
+            NBIndex.build(db, StarDistance(), 5)
+
+    @pytest.mark.parametrize("tree_cls", [MTree, CTree])
+    def test_trees_reject_positional_capacity(self, db, tree_cls):
+        with pytest.raises(TypeError):
+            tree_cls(db.graphs, StarDistance(), 4)
+
+    def test_greedy_rejects_positional_options(self, db):
+        with pytest.raises(TypeError):
+            repro.baseline_greedy(
+                db, StarDistance(), quartile_relevance(db), 6.0, 2, None
+            )
+
+    def test_query_rejects_unknown_kwargs(self, db, index):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            index.query(quartile_relevance(db), 6.0, 2, stop_on_zero=True)
+
+    def test_query_accepts_known_kwargs(self, db, index):
+        result = index.query(
+            quartile_relevance(db), 6.0, 2, stop_on_zero_gain=True
+        )
+        assert result.answer
+
+
+class TestFacadeFunctions:
+    def test_observe_reexported(self):
+        with repro.observe() as run:
+            repro.obs.counter("c")
+        assert run.stats()["counters"]["c"] == 1
+
+    def test_open_database_roundtrip(self, db, tmp_path):
+        from repro.graphs import save_database
+
+        path = tmp_path / "db.jsonl"
+        save_database(db, path)
+        loaded = repro.open_database(path)
+        assert len(loaded) == len(db)
+        assert loaded[0].num_nodes == db[0].num_nodes
+
+    def test_load_index_defaults_to_star_distance(self, db, index, tmp_path):
+        from repro.graphs import save_database
+        from repro.index import save_index
+
+        db_path, index_path = tmp_path / "db.jsonl", tmp_path / "index.npz"
+        save_database(db, db_path)
+        save_index(index, index_path)
+        loaded_db = repro.open_database(db_path)
+        loaded = repro.load_index(index_path, loaded_db)
+        q = quartile_relevance(db)
+        assert loaded.query(q, 6.0, 2).answer == index.query(q, 6.0, 2).answer
