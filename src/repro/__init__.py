@@ -37,6 +37,7 @@ from repro.graphs import (
 )
 from repro.index import NBIndex, QuerySession
 from repro.obs import Statable, observe
+from repro.resilience import BudgetExceeded, Deadline, RetryPolicy, deadline_scope
 
 __version__ = "1.0.0"
 
@@ -59,6 +60,10 @@ __all__ = [
     "obs",
     "observe",
     "Statable",
+    "Deadline",
+    "deadline_scope",
+    "BudgetExceeded",
+    "RetryPolicy",
     "open_database",
     "load_index",
     "__version__",

@@ -96,6 +96,7 @@ def cmd_build_index(args) -> int:
         database, StarDistance(),
         num_vantage_points=args.vantage_points, branching=args.branching,
         seed=args.seed, workers=args.workers,
+        checkpoint=args.checkpoint, resume=args.resume,
     )
     save_index(index, args.output)
     print(
@@ -125,27 +126,36 @@ def cmd_query(args) -> int:
     dims = args.dims if args.dims else None
     q = quartile_relevance(database, dims=dims, quantile=args.quantile)
 
-    if args.method == "greedy":
-        from repro.core import baseline_greedy
-        from repro.engine import DistanceEngine
+    deadline = None
+    if args.deadline_ms is not None:
+        from repro.resilience import Deadline
 
-        engine = DistanceEngine(
-            distance, workers=args.workers, graphs=database.graphs
-        )
-        result = baseline_greedy(
-            database, distance, q, theta, args.k, engine=engine
-        )
-    else:
-        if args.index:
-            index = repro.load_index(
-                args.index, database, distance, workers=args.workers
+        deadline = Deadline.after_ms(args.deadline_ms)
+
+    from repro.resilience.deadline import deadline_scope
+
+    with deadline_scope(deadline):
+        if args.method == "greedy":
+            from repro.core import baseline_greedy
+            from repro.engine import DistanceEngine
+
+            engine = DistanceEngine(
+                distance, workers=args.workers, graphs=database.graphs
+            )
+            result = baseline_greedy(
+                database, distance, q, theta, args.k, engine=engine
             )
         else:
-            index = NBIndex.build(
-                database, distance, num_vantage_points=args.vantage_points,
-                branching=args.branching, seed=args.seed, workers=args.workers,
-            )
-        result = index.query(q, theta, args.k)
+            if args.index:
+                index = repro.load_index(
+                    args.index, database, distance, workers=args.workers
+                )
+            else:
+                index = NBIndex.build(
+                    database, distance, num_vantage_points=args.vantage_points,
+                    branching=args.branching, seed=args.seed, workers=args.workers,
+                )
+            result = index.query(q, theta, args.k)
 
     print(f"relevant graphs: {result.num_relevant}")
     print(f"pi(A) = {result.pi:.3f}   CR = {result.compression_ratio:.1f}")
@@ -153,8 +163,27 @@ def cmd_query(args) -> int:
     for rank, (gid, gain) in enumerate(zip(result.answer, result.gains), 1):
         g = database[gid]
         print(f"{rank:<6}{gid:<8}{gain:<6}{g.num_nodes:<7}{g.num_edges:<7}")
+    if deadline is not None:
+        _print_degradation_footer(deadline)
     _finish_observation(observation, args)
     return 0
+
+
+def _print_degradation_footer(deadline) -> None:
+    """One-line summary of what the deadline budget cost the query."""
+    if not deadline.degradations:
+        print(f"deadline: met — all edit distances exact ({deadline!r})")
+        return
+    breakdown = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(deadline.degradations.items())
+    )
+    total = sum(deadline.degradations.values())
+    print(
+        f"deadline: DEGRADED — {total} edit distances fell back to upper "
+        f"bounds ({breakdown}); pi/CR above are computed on approximate "
+        f"neighborhoods"
+    )
 
 
 #: The canonical reproduction set run by ``repro experiment --all``:
@@ -280,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="distance-engine processes (default: "
                         "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="snapshot completed build stages into PATH so an "
+                        "interrupted build can resume")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists "
+                        "(bit-identical to an uninterrupted build)")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a repro.obs metrics document "
                         "(.prom → Prometheus text, else JSON)")
@@ -304,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="distance-engine processes (default: "
                         "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="wall-clock budget for exact edit distances; on "
+                        "expiry they degrade to upper bounds and the "
+                        "footer reports the degradation")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a repro.obs metrics document "
                         "(.prom → Prometheus text, else JSON)")

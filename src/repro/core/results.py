@@ -34,6 +34,11 @@ class QueryStats:
     init_seconds: float = 0.0
     search_seconds: float = 0.0
     update_seconds: float = 0.0
+    #: True when a Deadline budget forced approximate (upper-bound) edit
+    #: distances into this query — the answer is valid but not exact.
+    degraded: bool = False
+    degradation_events: int = 0
+    degradations: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

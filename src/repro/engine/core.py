@@ -33,6 +33,7 @@ Worker count resolution: an explicit ``workers`` argument wins, then the
 from __future__ import annotations
 
 import os
+import time
 from typing import Sequence
 
 import numpy as np
@@ -40,6 +41,8 @@ import numpy as np
 from repro import obs
 from repro.ged.metric import _pair_key
 from repro.graphs.graph import LabeledGraph
+from repro.resilience.deadline import current_deadline
+from repro.resilience.retry import RetryPolicy
 from repro.utils.validation import require
 
 _EPS = 1e-9
@@ -91,6 +94,12 @@ class DistanceEngine:
         machine's cores only add dispatch overhead, so on a single-core
         host any ``workers`` value degrades to the in-process fast path.
         Tests that must exercise the pool regardless pass ``False``.
+    retry_policy:
+        :class:`~repro.resilience.RetryPolicy` governing pool recovery
+        when a worker dies mid-batch: the pool is respawned and the batch
+        retried with capped exponential backoff, then evaluated serially
+        in-process once attempts are exhausted.  Results are bit-identical
+        on every path.
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class DistanceEngine:
         embedding=None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
         respect_cpu_count: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ):
         from repro.engine.starbatch import batch_evaluator_for, unwrap_distance
 
@@ -121,6 +131,7 @@ class DistanceEngine:
         self._pool = None
         self._pool_observed = False
         self._cache: dict[tuple, float] = {}
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -134,6 +145,9 @@ class DistanceEngine:
         self.parallel_batches = 0
         self.prefilter_lower_rejections = 0
         self.prefilter_upper_accepts = 0
+        self.pool_retries = 0
+        self.pool_respawns = 0
+        self.pool_serial_fallbacks = 0
 
     @property
     def calls(self) -> int:
@@ -155,6 +169,9 @@ class DistanceEngine:
             "prefilter_upper_accepts": self.prefilter_upper_accepts,
             "workers": self.workers,
             "pool_workers": self.pool_workers,
+            "pool_retries": self.pool_retries,
+            "pool_respawns": self.pool_respawns,
+            "pool_serial_fallbacks": self.pool_serial_fallbacks,
         }
 
     @property
@@ -170,8 +187,7 @@ class DistanceEngine:
         """Tear down the worker pool (e.g. after the graph list grew);
         the next parallel batch rebuilds it against the current graphs."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     close = invalidate_pool
@@ -378,22 +394,105 @@ class DistanceEngine:
             )
         return self._pool
 
-    def _pool_map(self, task, payloads, pairs: int):
-        """Fan a batch out over the pool, merging worker metric deltas."""
+    def _pool_map(self, task, payloads, pairs: int, kind: str):
+        """Fan a batch out over the pool: deadline shipping, worker-death
+        retries, and worker metric/degradation merging."""
         self.parallel_batches += len(payloads)
         obs.counter("engine.pool.batches")
         obs.counter("engine.pool.chunks", len(payloads))
+        deadline = current_deadline()
+        if deadline is not None:
+            from repro.engine.pool import wrap_deadline
+
+            state = deadline.state()
+            payloads = [wrap_deadline(payload, state) for payload in payloads]
         with obs.span("engine.pool.map", chunks=len(payloads), pairs=pairs), \
                 obs.timer("engine.pool.map_seconds"):
-            results = self._ensure_pool().map(task, payloads)
-            if self._pool_observed:
-                # Merging inside the span nests worker chunk spans under it.
-                blocks = []
-                for block, state in results:
-                    obs.merge_state(state, worker=True)
-                    blocks.append(block)
-                return blocks
-        return results
+            results = self._map_with_retry(task, payloads, kind)
+            # Merging inside the span nests worker chunk spans under it.
+            return [self._unwrap_result(item, deadline) for item in results]
+
+    def _map_with_retry(self, task, payloads, kind: str):
+        """``pool.map`` with worker-death recovery.
+
+        A dead worker surfaces as ``BrokenProcessPool``; the pool is torn
+        down, respawned and the whole batch retried (chunks are pure
+        functions of their payloads, so re-running them is safe) under the
+        engine's :class:`~repro.resilience.RetryPolicy`.  Exhausted
+        attempts fall back to in-process serial evaluation — slower but
+        bit-identical, so a broken pool degrades throughput, never answers.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        policy = self.retry_policy
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                self.pool_respawns += 1
+                obs.counter("engine.pool.respawns")
+            try:
+                with obs.span("engine.pool.attempt", attempt=attempt):
+                    return list(self._ensure_pool().map(task, payloads))
+            except BrokenProcessPool:
+                self.invalidate_pool()
+                self.pool_retries += 1
+                obs.counter("engine.pool.retries")
+                if attempt + 1 < policy.max_attempts:
+                    delay = policy.delay(attempt)
+                    with obs.span(
+                        "engine.pool.respawn", attempt=attempt + 1,
+                        delay_seconds=round(delay, 4),
+                    ):
+                        time.sleep(delay)
+        self.pool_serial_fallbacks += 1
+        obs.counter("engine.pool.serial_fallbacks")
+        obs.gauge("engine.pool.degraded", 1)
+        return [self._eval_payload_serial(kind, payload) for payload in payloads]
+
+    def _unwrap_result(self, item, deadline):
+        """Strip worker wrappers from one chunk result: degradation counts
+        (merged into the parent deadline) and obs deltas (merged into the
+        active registry).  Serial-fallback results pass through untouched."""
+        from repro.engine.pool import split_degradations
+
+        item, degradations = split_degradations(item)
+        if degradations:
+            if deadline is not None:
+                deadline.merge_degradations(degradations)
+            if not self._pool_observed:
+                # Observed workers already counted these in their shipped
+                # registry delta; unobserved ones could not.
+                for kind, count in degradations.items():
+                    obs.counter("resilience.degradations", count)
+                    obs.counter(f"resilience.degraded.{kind}", count)
+        if self._pool_observed and isinstance(item, tuple):
+            block, state = item
+            obs.merge_state(state, worker=True)
+            return block
+        return item
+
+    def _eval_payload_serial(self, kind: str, payload):
+        """In-process evaluation of one worker payload (the last rung of
+        the pool fallback ladder); same values as any worker would return."""
+        from repro.engine.pool import split_deadline
+
+        # The parent's deadline scope is still active here; the shipped
+        # copy is only needed across a process boundary.
+        payload, _ = split_deadline(payload)
+        if kind == "one_to_many":
+            source_ref, target_refs = payload
+            source = self._resolve(source_ref)
+            targets = [self._resolve(ref) for ref in target_refs]
+            if self._evaluator is not None:
+                return [float(v) for v in self._evaluator.one_to_many(source, targets)]
+            return [float(self.inner(source, target)) for target in targets]
+        out: list[float] = []
+        for ref_a, ref_b in payload:
+            a, b = self._resolve(ref_a), self._resolve(ref_b)
+            if self._evaluator is not None:
+                out.append(float(self._evaluator.one_to_many(a, [b])[0]))
+            else:
+                out.append(float(self.inner(a, b)))
+        return out
 
     def _chunk(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -420,7 +519,7 @@ class DistanceEngine:
                 )
                 for k in range(0, count, chunk)
             ]
-            results = self._pool_map(run_one_to_many, payloads, count)
+            results = self._pool_map(run_one_to_many, payloads, count, "one_to_many")
             return [value for block in results for value in block]
         graphs = [graph for _, graph in miss_refs]
         if self._evaluator is not None:
@@ -445,7 +544,7 @@ class DistanceEngine:
                 ]
                 for k in range(0, count, chunk)
             ]
-            results = self._pool_map(run_pairs, payloads, count)
+            results = self._pool_map(run_pairs, payloads, count, "pairs")
             return [value for block in results for value in block]
         out: list[float] = []
         position = 0

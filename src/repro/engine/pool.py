@@ -1,10 +1,16 @@
 """Worker-process plumbing for :class:`repro.engine.DistanceEngine`.
 
-The engine fans batches out over a ``multiprocessing`` pool.  Everything
-here is module-level so task payloads stay picklable; ``multiprocessing``
-itself is imported lazily inside :func:`create_pool` — importing this
-module (or any engine consumer) never touches process machinery, so
-single-process use pays nothing.
+The engine fans batches out over a ``concurrent.futures``
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Everything here is
+module-level so task payloads stay picklable; process machinery is
+imported lazily inside :func:`create_pool` — importing this module (or any
+engine consumer) never touches it, so single-process use pays nothing.
+
+The executor (rather than ``multiprocessing.Pool``) is what makes the
+engine's fault tolerance possible: when a worker dies mid-chunk the
+in-flight ``map`` raises :class:`~concurrent.futures.process.\
+BrokenProcessPool` instead of hanging, and the engine respawns/retries
+(see ``DistanceEngine._map_with_retry``).
 
 Graphs travel to workers in one of two forms: integer indices into the
 graph list the pool was initialized with (the database case — payloads are
@@ -19,6 +25,11 @@ otherwise leave it sharing a copy of the parent's data), wraps every chunk
 in an ``engine.worker.chunk`` span, and ships its metric/span delta back
 alongside the task result; the engine merges those deltas as the map
 joins, so pool fan-out never loses counts.
+
+When the parent has an active :class:`~repro.resilience.Deadline`, its
+state rides along with each payload (:func:`wrap_deadline`); the worker
+re-installs it so exact-GED budget checks fire there too, and ships any
+degradation counts back for the engine to merge into the parent deadline.
 """
 
 from __future__ import annotations
@@ -26,8 +37,14 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline, deadline_scope
+
 #: Per-process worker state, set once by :func:`_init_worker`.
 _STATE: dict = {}
+
+_DEADLINE_KEY = "__deadline__"
+_DEGRADED_KEY = "__degraded__"
 
 
 def _init_worker(distance, graphs, observe: bool = False) -> None:
@@ -52,6 +69,32 @@ def _resolve(ref):
     return ref
 
 
+def wrap_deadline(payload, state: dict):
+    """Attach a parent deadline's state to a task payload."""
+    return {_DEADLINE_KEY: state, "payload": payload}
+
+
+def split_deadline(payload):
+    """Inverse of :func:`wrap_deadline`: ``(bare payload, Deadline|None)``."""
+    if isinstance(payload, dict) and _DEADLINE_KEY in payload:
+        return payload["payload"], Deadline.from_state(payload[_DEADLINE_KEY])
+    return payload, None
+
+
+def _attach_degradations(result, deadline):
+    """Ship worker-side degradation counts back with the chunk result."""
+    if deadline is not None and deadline.degradations:
+        return {_DEGRADED_KEY: dict(deadline.degradations), "result": result}
+    return result
+
+
+def split_degradations(result):
+    """Inverse of :func:`_attach_degradations`: ``(result, counts dict)``."""
+    if isinstance(result, dict) and _DEGRADED_KEY in result:
+        return result["result"], result[_DEGRADED_KEY]
+    return result, None
+
+
 def _observed(task, payload, pairs: int):
     """Run one chunk under a worker span; return ``(result, delta)``."""
     from repro import obs
@@ -63,14 +106,26 @@ def _observed(task, payload, pairs: int):
     return result, obs.export_state(reset_after=True)
 
 
+def _run_task(task, payload, pairs_of):
+    """Common worker chunk wrapper: faults, deadline scope, observation."""
+    payload, deadline = split_deadline(payload)
+    faults.maybe_crash_worker()
+    with deadline_scope(deadline):
+        if _STATE.get("observe"):
+            result = _observed(task, payload, pairs_of(payload))
+        else:
+            result = task(payload)
+    return _attach_degradations(result, deadline)
+
+
 def run_one_to_many(payload) -> list[float]:
     """Worker task: ``(source_ref, [target_ref, ...]) -> [distance, ...]``.
 
-    With observability on, returns ``([distance, ...], obs_delta)``.
+    With observability on, the result is paired with the worker's obs
+    delta; with a shipped deadline that degraded, both are wrapped with
+    the degradation counts (see :func:`split_degradations`).
     """
-    if _STATE.get("observe"):
-        return _observed(_run_one_to_many, payload, len(payload[1]))
-    return _run_one_to_many(payload)
+    return _run_task(_run_one_to_many, payload, lambda p: len(p[1]))
 
 
 def _run_one_to_many(payload) -> list[float]:
@@ -89,11 +144,9 @@ def run_pairs(payload) -> list[float]:
 
     Consecutive pairs sharing a left graph are grouped so the batch
     evaluator amortizes the source-side work (matrix rows arrive this way).
-    With observability on, returns ``([distance, ...], obs_delta)``.
+    Wrapping behaves as in :func:`run_one_to_many`.
     """
-    if _STATE.get("observe"):
-        return _observed(_run_pairs, payload, len(payload))
-    return _run_pairs(payload)
+    return _run_task(_run_pairs, payload, len)
 
 
 def _run_pairs(payload) -> list[float]:
@@ -116,23 +169,39 @@ def _run_pairs(payload) -> list[float]:
     return out
 
 
-def create_pool(workers: int, distance, graphs: Sequence | None, observe: bool = False):
-    """Create the process pool (lazy ``multiprocessing`` import).
+def _pool_context():
+    """The multiprocessing context for worker pools.
 
-    Prefers the ``fork`` start method — workers then inherit the distance
-    and graph list without pickling; other start methods work as long as
-    both are picklable (true for every distance in this library).  With
-    ``observe=True`` workers record their own metrics and return them
-    alongside each task result (see module docstring).
+    Prefers ``fork`` — workers then inherit the distance, graph list and
+    any installed fault plan without pickling.  Platforms without ``fork``
+    fall back to the default start method; the condition is recorded on
+    the ``engine.pool.fork_unavailable`` counter so a mysteriously slower
+    pool (spawn re-imports everything) is diagnosable from metrics.
     """
     import multiprocessing
 
+    from repro import obs
+
     try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    return context.Pool(
-        processes=workers,
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        obs.counter("engine.pool.fork_unavailable")
+        return multiprocessing.get_context()
+
+
+def create_pool(workers: int, distance, graphs: Sequence | None, observe: bool = False):
+    """Create the worker executor (lazy ``concurrent.futures`` import).
+
+    Any start method works as long as the distance and graphs are
+    picklable (true for every distance in this library).  With
+    ``observe=True`` workers record their own metrics and return them
+    alongside each task result (see module docstring).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
         initializer=_init_worker,
         initargs=(distance, list(graphs) if graphs is not None else None, observe),
     )

@@ -37,9 +37,16 @@ def graph_from_dict(data: dict, graph_id: int | None = None) -> LabeledGraph:
 
 
 def save_database(database: GraphDatabase, path: str | Path) -> None:
-    """Write a database to ``path`` in JSON-lines format."""
+    """Write a database to ``path`` in JSON-lines format.
+
+    The write goes through :func:`~repro.resilience.atomic_write`
+    (temp file + fsync + rename), so a crash mid-write leaves any previous
+    file at ``path`` intact instead of a truncated dataset.
+    """
+    from repro.resilience.atomicio import atomic_write
+
     path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_write(path, "w", encoding="utf-8") as fh:
         header = {
             "format": "repro-graphdb",
             "version": FORMAT_VERSION,

@@ -12,10 +12,18 @@ from repro.index.nbtree import BuildStats, NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds, ladder_from_query_log
 from repro.index.nbindex import NBIndex, QueryResult, QuerySession, QueryStats
 from repro.index.persistence import load_index, save_index
+from repro.resilience.errors import (
+    CorruptIndexError,
+    DatabaseMismatchError,
+    IndexFormatError,
+)
 
 __all__ = [
     "save_index",
     "load_index",
+    "CorruptIndexError",
+    "IndexFormatError",
+    "DatabaseMismatchError",
     "VantageEmbedding",
     "select_vantage_points",
     "fpr_upper_bound_gaussian",

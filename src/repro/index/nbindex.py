@@ -87,6 +87,9 @@ class NBIndex:
         # its batched, prefiltered threshold checks; any plain distance
         # still works through the per-pair path.
         self.engine = distance if hasattr(distance, "within") else None
+        #: ``{kind: count}`` of budget-forced degradations during the
+        #: build (empty for an unbudgeted or on-budget build).
+        self.build_degradations: dict[str, int] = {}
         self._leaf_of: dict[int, NBTreeNode] = {
             node.graph_index: node for node in tree.nodes if node.is_leaf
         }
@@ -109,6 +112,9 @@ class NBIndex:
         workers: int | None = None,
         engine=None,
         rng=None,
+        checkpoint=None,
+        resume: bool = False,
+        deadline=None,
     ) -> "NBIndex":
         """Build the index: select VPs, embed the database, cluster it.
 
@@ -130,10 +136,22 @@ class NBIndex:
 
         ``seed`` (an int or a numpy Generator) drives vantage/pivot
         selection; ``rng`` is its deprecated alias.
+
+        ``checkpoint`` names a file to snapshot completed build stages
+        into (atomic, checksummed — see
+        :class:`~repro.resilience.checkpoint.BuildCheckpoint`); with
+        ``resume=True`` an interrupted build picks up after its last
+        durable stage and, because the RNG state is checkpointed too,
+        produces a bit-identical index.  ``deadline`` is a
+        :class:`~repro.resilience.Deadline` budget installed for the whole
+        build: exact-GED calls that exceed it degrade to upper bounds, and
+        the degradation counts land in :attr:`build_degradations` /
+        ``stats()['degraded']``.
         """
         require_positive(num_vantage_points, "num_vantage_points")
         require(len(database) > 0, "cannot index an empty database")
         from repro.engine import DistanceEngine
+        from repro.resilience.deadline import deadline_scope
 
         rng = resolve_seed(seed, rng, "NBIndex.build")
         if engine is None:
@@ -143,48 +161,100 @@ class NBIndex:
         if validate_metric:
             _spot_check_metric(database, engine, rng)
 
+        ckpt = None
+        if checkpoint is not None:
+            from repro.resilience.checkpoint import BuildCheckpoint
+
+            ckpt = BuildCheckpoint.open(checkpoint, database, resume=resume)
+
         started = time.perf_counter()
-        with obs.span(
+        with deadline_scope(deadline), obs.span(
             "index.build", n=len(database), branching=branching,
         ) as build_span:
             vp_count = min(num_vantage_points, len(database))
             build_span.set(num_vantage_points=vp_count)
-            with obs.span("index.vantage_select", strategy=vp_strategy), \
-                    obs.timer("index.vantage_select_seconds"):
-                vp_indices = select_vantage_points(
-                    database.graphs, vp_count, rng=rng, strategy=vp_strategy,
-                    distance=engine, engine=engine,
+
+            if ckpt is not None and ckpt.completed("vantage"):
+                vp_indices = [int(i) for i in ckpt.array("vantage", "vp_indices")]
+                ckpt.restore_rng("vantage", rng)
+            else:
+                with obs.span("index.vantage_select", strategy=vp_strategy), \
+                        obs.timer("index.vantage_select_seconds"):
+                    vp_indices = select_vantage_points(
+                        database.graphs, vp_count, rng=rng, strategy=vp_strategy,
+                        distance=engine, engine=engine,
+                    )
+                if ckpt is not None:
+                    ckpt.record_stage(
+                        "vantage", rng=rng,
+                        vp_indices=np.asarray(vp_indices, dtype=np.int64),
+                    )
+
+            if ckpt is not None and ckpt.completed("embed"):
+                embedding = VantageEmbedding.from_coords(
+                    database.graphs, vp_indices, engine,
+                    ckpt.array("embed", "coords"),
                 )
-            with obs.span("index.embed"), obs.timer("index.embed_seconds"):
-                embedding = VantageEmbedding(
-                    database.graphs, vp_indices, engine, engine=engine
-                )
+            else:
+                with obs.span("index.embed"), obs.timer("index.embed_seconds"):
+                    embedding = VantageEmbedding(
+                        database.graphs, vp_indices, engine, engine=engine
+                    )
+                if ckpt is not None:
+                    ckpt.record_stage("embed", coords=embedding.coords)
             engine.attach_embedding(embedding)
-            if thresholds is None:
-                with obs.span("index.ladder"), obs.timer("index.ladder_seconds"):
-                    if len(database) < 2:
-                        thresholds = ThresholdLadder([1.0])
-                    else:
-                        thresholds = choose_thresholds(
-                            database.graphs, engine, count=10,
-                            num_pairs=min(1000, len(database) * 4), rng=rng,
-                            engine=engine,
-                        )
-            with obs.span("index.tree_build") as tree_span, \
-                    obs.timer("index.tree_build_seconds"):
-                tree = NBTree(
-                    database.graphs, engine, embedding, branching=branching,
-                    rng=rng, engine=engine,
+
+            if ckpt is not None and ckpt.completed("ladder"):
+                thresholds = ThresholdLadder(
+                    float(v) for v in ckpt.array("ladder", "values")
                 )
-                tree_span.set(nodes=tree.num_nodes)
+                ckpt.restore_rng("ladder", rng)
+            else:
+                if thresholds is None:
+                    with obs.span("index.ladder"), obs.timer("index.ladder_seconds"):
+                        if len(database) < 2:
+                            thresholds = ThresholdLadder([1.0])
+                        else:
+                            thresholds = choose_thresholds(
+                                database.graphs, engine, count=10,
+                                num_pairs=min(1000, len(database) * 4), rng=rng,
+                                engine=engine,
+                            )
+                if ckpt is not None:
+                    ckpt.record_stage(
+                        "ladder", rng=rng,
+                        values=np.array(list(thresholds.values)),
+                    )
+
+            if ckpt is not None and ckpt.completed("tree"):
+                from repro.index.persistence import tree_from_arrays
+
+                tree = tree_from_arrays(
+                    ckpt.stage_arrays("tree"), database.graphs, engine, embedding
+                )
+            else:
+                with obs.span("index.tree_build") as tree_span, \
+                        obs.timer("index.tree_build_seconds"):
+                    tree = NBTree(
+                        database.graphs, engine, embedding, branching=branching,
+                        rng=rng, engine=engine,
+                    )
+                    tree_span.set(nodes=tree.num_nodes)
+                if ckpt is not None:
+                    from repro.index.persistence import flatten_tree
+
+                    ckpt.record_stage("tree", **flatten_tree(tree))
             obs.counter("index.tree.exact_distances", tree.stats.exact_distances)
             obs.counter("index.tree.pruned_by_vantage", tree.stats.pruned_by_vantage)
         build_seconds = time.perf_counter() - started
         obs.observe_time("index.build_seconds", build_seconds)
-        return cls(
+        index = cls(
             database, engine, embedding=embedding, tree=tree,
             ladder=thresholds, counting=engine, build_seconds=build_seconds,
         )
+        if deadline is not None:
+            index.build_degradations = dict(deadline.degradations)
+        return index
 
     def stats(self) -> dict:
         """Statable protocol: one plain dict covering the whole index.
@@ -202,6 +272,8 @@ class NBIndex:
             "build_seconds": self.build_seconds,
             "distance_calls": self._counting.calls,
             "memory_bytes": self._memory_bytes(),
+            "degraded": bool(self.build_degradations),
+            "build_degradations": dict(self.build_degradations),
             "tree_build": {
                 "exact_distances": self.tree.stats.exact_distances,
                 "pruned_by_vantage": self.tree.stats.pruned_by_vantage,
@@ -258,7 +330,7 @@ class NBIndex:
         return QuerySession(self, query_fn)
 
     #: Keyword arguments :meth:`QuerySession.query` accepts beyond (θ, k).
-    _QUERY_KWARGS = frozenset({"stop_on_zero_gain", "enable_updates"})
+    _QUERY_KWARGS = frozenset({"stop_on_zero_gain", "enable_updates", "deadline"})
 
     def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
         """One-shot top-k representative query (fresh session)."""
@@ -465,6 +537,7 @@ class QuerySession:
         k: int,
         stop_on_zero_gain: bool = False,
         enable_updates: bool = True,
+        deadline=None,
     ) -> QueryResult:
         """Run the search-and-update phase for (θ, k).
 
@@ -474,14 +547,28 @@ class QuerySession:
         ``enable_updates=False`` disables the Theorem 6–8 update step (the
         search then relies on submodular staleness alone) — an ablation
         hook; results are identical, only the work profile changes.
+
+        ``deadline`` (or an ambient :func:`~repro.resilience.deadline_scope`)
+        budgets the query's exact-GED work: calls that exceed it degrade to
+        upper bounds and the result's :class:`QueryStats` is marked
+        ``degraded`` with the per-kind counts — an answer computed under
+        pressure is flagged, never silently approximate.
         """
         require_positive(theta, "theta")
         require_positive(k, "k")
+        from repro.resilience.deadline import current_deadline, deadline_scope
+
         index = self.index
         stats = QueryStats(init_seconds=self.init_seconds)
         calls_before = index._counting.calls
+        effective_deadline = deadline if deadline is not None else current_deadline()
+        degradations_before = (
+            dict(effective_deadline.degradations)
+            if effective_deadline is not None else {}
+        )
 
-        with obs.span("index.query", theta=theta, k=k) as query_span:
+        with deadline_scope(deadline), \
+                obs.span("index.query", theta=theta, k=k) as query_span:
             started = time.perf_counter()
             ladder_index = index.ladder.index_for(theta)
             column = self.pi_hat_column(ladder_index)
@@ -517,7 +604,18 @@ class QuerySession:
                 stats.update_seconds += time.perf_counter() - update_started
 
             stats.distance_calls = index._counting.calls - calls_before
-            query_span.set(answer_size=len(answer))
+            if effective_deadline is not None:
+                delta = {
+                    kind: count - degradations_before.get(kind, 0)
+                    for kind, count in effective_deadline.degradations.items()
+                    if count > degradations_before.get(kind, 0)
+                }
+                stats.degradations = delta
+                stats.degradation_events = sum(delta.values())
+                stats.degraded = bool(delta)
+                if stats.degraded:
+                    obs.counter("query.degraded")
+            query_span.set(answer_size=len(answer), degraded=stats.degraded)
             _record_query_stats(stats)
         return QueryResult(
             answer=answer,

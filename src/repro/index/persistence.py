@@ -2,11 +2,25 @@
 
 An index is expensive to build (it is *the* offline investment the paper's
 query speed rests on), so a production deployment wants it on disk.  The
-format is a single compressed ``.npz``: vantage coordinates, the flattened
-NB-Tree (per-node scalars + parent pointers; members are reconstructed
-from the leaf structure), the threshold ladder, and a database fingerprint
-so loading against the wrong database fails loudly instead of answering
-garbage.
+payload is a single compressed ``.npz`` — vantage coordinates, the
+flattened NB-Tree (per-node scalars + parent pointers; members are
+reconstructed from the leaf structure), the threshold ladder, and a
+database fingerprint so loading against the wrong database fails loudly
+instead of answering garbage — wrapped in the checksummed container of
+:mod:`repro.resilience.atomicio` and written via atomic rename, so a torn
+or corrupted file is *detected* at load time.
+
+Load failures raise distinct (all ``ValueError``-compatible) exceptions:
+
+* :class:`~repro.resilience.CorruptIndexError` — truncated/torn/bit-rotted
+  bytes (checksum or length mismatch);
+* :class:`~repro.resilience.IndexFormatError` — intact file from an
+  unsupported ``format_version``;
+* :class:`~repro.resilience.DatabaseMismatchError` — fingerprint does not
+  match the database being attached.
+
+Indexes written before the container existed (bare ``.npz``, format
+version 1) are still readable.
 
 The database itself is *not* stored — graphs live in the caller's own
 storage (see :mod:`repro.graphs.io`); the index references them by id.
@@ -14,6 +28,7 @@ storage (see :mod:`repro.graphs.io`); the index references them by id.
 
 from __future__ import annotations
 
+import io
 import zlib
 from pathlib import Path
 
@@ -25,9 +40,16 @@ from repro.index.nbindex import NBIndex
 from repro.index.nbtree import NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder
 from repro.index.vantage import VantageEmbedding
-from repro.utils.validation import require
+from repro.resilience.atomicio import unwrap_checksummed, write_checksummed
+from repro.resilience.errors import DatabaseMismatchError, IndexFormatError
 
-FORMAT_VERSION = 1
+#: Version 2 wraps the npz payload in the checksummed container; version 1
+#: (bare npz) is still accepted on load.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: Zip local-file-header magic — how a legacy bare-``.npz`` index starts.
+_ZIP_MAGIC = b"PK"
 
 
 def database_fingerprint(database: GraphDatabase) -> np.ndarray:
@@ -42,32 +64,91 @@ def database_fingerprint(database: GraphDatabase) -> np.ndarray:
     )
 
 
-def save_index(index: NBIndex, path: str | Path) -> None:
-    """Write the index's offline structures to ``path`` (.npz)."""
-    nodes = index.tree.nodes
+def flatten_tree(tree: NBTree) -> dict[str, np.ndarray]:
+    """The NB-Tree as flat arrays (per-node scalars + parent pointers) —
+    shared by :func:`save_index` and the build checkpoint."""
+    nodes = tree.nodes
     parent = np.full(len(nodes), -1, dtype=np.int64)
     for node in nodes:
         for child in node.children:
             parent[child.node_id] = node.node_id
+    return {
+        "node_centroid": np.array([n.centroid for n in nodes], dtype=np.int64),
+        "node_radius": np.array([n.radius for n in nodes]),
+        "node_diameter": np.array([n.diameter for n in nodes]),
+        "node_graph_index": np.array(
+            [-1 if n.graph_index is None else n.graph_index for n in nodes],
+            dtype=np.int64,
+        ),
+        "node_parent": parent,
+        "root_id": np.array([tree.root.node_id], dtype=np.int64),
+        "branching": np.array([tree.branching], dtype=np.int64),
+    }
+
+
+def tree_from_arrays(arrays, graphs, engine, embedding) -> NBTree:
+    """Inverse of :func:`flatten_tree`: rebuild the NB-Tree structure.
+
+    ``arrays`` is any mapping with :func:`flatten_tree`'s keys (an open
+    ``.npz`` works).  Children are appended in node-id order, which is the
+    order the builder created them in, so round-trips are structure-exact.
+    """
+    centroids = arrays["node_centroid"]
+    radii = arrays["node_radius"]
+    diameters = arrays["node_diameter"]
+    graph_indices = arrays["node_graph_index"]
+    parents = arrays["node_parent"]
+    num_nodes = centroids.shape[0]
+
+    nodes = [
+        NBTreeNode(
+            node_id=i,
+            centroid=int(centroids[i]),
+            radius=float(radii[i]),
+            diameter=float(diameters[i]),
+            members=np.empty(0, dtype=np.int64),
+            graph_index=(
+                None if graph_indices[i] < 0 else int(graph_indices[i])
+            ),
+        )
+        for i in range(num_nodes)
+    ]
+    for i in range(num_nodes):
+        p = int(parents[i])
+        if p >= 0:
+            nodes[p].children.append(nodes[i])
+    root = nodes[int(arrays["root_id"][0])]
+    _rebuild_members(root)
+
+    tree = NBTree.__new__(NBTree)
+    tree._graphs = graphs
+    tree._distance = engine
+    tree._engine = engine
+    tree._embedding = embedding
+    tree.branching = int(arrays["branching"][0])
+    tree.nodes = nodes
+    tree.root = root
+    from repro.index.nbtree import BuildStats
+
+    tree.stats = BuildStats()
+    return tree
+
+
+def save_index(index: NBIndex, path: str | Path) -> None:
+    """Write the index's offline structures to ``path`` (atomic rename +
+    checksum footer; see module docstring)."""
+    buffer = io.BytesIO()
     np.savez_compressed(
-        Path(path),
+        buffer,
         format_version=np.array([FORMAT_VERSION]),
         coords=index.embedding.coords,
         vantage_indices=np.array(index.embedding.vantage_indices, dtype=np.int64),
         ladder=np.array(list(index.ladder.values)),
-        node_centroid=np.array([n.centroid for n in nodes], dtype=np.int64),
-        node_radius=np.array([n.radius for n in nodes]),
-        node_diameter=np.array([n.diameter for n in nodes]),
-        node_graph_index=np.array(
-            [-1 if n.graph_index is None else n.graph_index for n in nodes],
-            dtype=np.int64,
-        ),
-        node_parent=parent,
-        root_id=np.array([index.tree.root.node_id], dtype=np.int64),
-        branching=np.array([index.tree.branching], dtype=np.int64),
         fingerprint=database_fingerprint(index.database),
         build_seconds=np.array([index.build_seconds]),
+        **flatten_tree(index.tree),
     )
+    write_checksummed(Path(path), buffer.getvalue())
 
 
 def load_index(
@@ -84,73 +165,36 @@ def load_index(
     :class:`~repro.engine.DistanceEngine` exactly as in
     :meth:`NBIndex.build`.
     """
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[: len(_ZIP_MAGIC)] == _ZIP_MAGIC:
+        payload = raw  # pre-container index (format version 1)
+    else:
+        payload = unwrap_checksummed(raw, source=str(path))
+    with np.load(io.BytesIO(payload)) as data:
         version = int(data["format_version"][0])
-        require(
-            version == FORMAT_VERSION,
-            f"unsupported index format version {version}",
-        )
+        if version not in _SUPPORTED_VERSIONS:
+            raise IndexFormatError(
+                f"{path}: unsupported index format version {version} "
+                f"(this build reads {sorted(_SUPPORTED_VERSIONS)})"
+            )
         stored = data["fingerprint"]
         current = database_fingerprint(database)
-        require(
-            stored.shape == current.shape and bool((stored == current).all()),
-            "index fingerprint does not match the provided database",
-        )
+        if stored.shape != current.shape or not bool((stored == current).all()):
+            raise DatabaseMismatchError(
+                f"{path}: index fingerprint does not match the provided "
+                f"database"
+            )
 
         from repro.engine import DistanceEngine
 
         engine = DistanceEngine(
             distance, workers=workers, graphs=database.graphs
         )
-
-        embedding = VantageEmbedding.__new__(VantageEmbedding)
-        embedding._graphs = database.graphs
-        embedding._distance = engine
-        embedding.vantage_indices = [int(i) for i in data["vantage_indices"]]
-        embedding.coords = data["coords"].copy()
-        embedding._order0 = np.argsort(embedding.coords[:, 0], kind="stable")
-        embedding._sorted0 = embedding.coords[embedding._order0, 0]
-
-        centroids = data["node_centroid"]
-        radii = data["node_radius"]
-        diameters = data["node_diameter"]
-        graph_indices = data["node_graph_index"]
-        parents = data["node_parent"]
-        num_nodes = centroids.shape[0]
-
-        nodes = [
-            NBTreeNode(
-                node_id=i,
-                centroid=int(centroids[i]),
-                radius=float(radii[i]),
-                diameter=float(diameters[i]),
-                members=np.empty(0, dtype=np.int64),
-                graph_index=(
-                    None if graph_indices[i] < 0 else int(graph_indices[i])
-                ),
-            )
-            for i in range(num_nodes)
-        ]
-        for i in range(num_nodes):
-            p = int(parents[i])
-            if p >= 0:
-                nodes[p].children.append(nodes[i])
-        root = nodes[int(data["root_id"][0])]
-
-        _rebuild_members(root)
-
-        tree = NBTree.__new__(NBTree)
-        tree._graphs = database.graphs
-        tree._distance = engine
-        tree._engine = engine
-        tree._embedding = embedding
-        tree.branching = int(data["branching"][0])
-        tree.nodes = nodes
-        tree.root = root
-        from repro.index.nbtree import BuildStats
-
-        tree.stats = BuildStats()
-
+        embedding = VantageEmbedding.from_coords(
+            database.graphs, data["vantage_indices"], engine, data["coords"]
+        )
+        tree = tree_from_arrays(data, database.graphs, engine, embedding)
         ladder = ThresholdLadder(float(v) for v in data["ladder"])
         build_seconds = float(data["build_seconds"][0])
 

@@ -120,6 +120,32 @@ class VantageEmbedding:
         self._order0 = np.argsort(coords[:, 0], kind="stable")
         self._sorted0 = coords[self._order0, 0]
 
+    @classmethod
+    def from_coords(
+        cls,
+        graphs: Sequence[LabeledGraph],
+        vantage_indices: Sequence[int],
+        distance: GraphDistanceFn,
+        coords: np.ndarray,
+    ) -> "VantageEmbedding":
+        """Rehydrate an embedding from a precomputed coordinate matrix
+        (index load, checkpoint resume) — no distances are evaluated."""
+        require(len(vantage_indices) > 0, "at least one vantage point required")
+        coords = np.array(coords, dtype=float)
+        require(
+            coords.shape == (len(graphs), len(vantage_indices)),
+            f"coords shape {coords.shape} does not match "
+            f"({len(graphs)}, {len(vantage_indices)})",
+        )
+        embedding = cls.__new__(cls)
+        embedding._graphs = graphs
+        embedding._distance = distance
+        embedding.vantage_indices = [int(i) for i in vantage_indices]
+        embedding.coords = coords
+        embedding._order0 = np.argsort(coords[:, 0], kind="stable")
+        embedding._sorted0 = coords[embedding._order0, 0]
+        return embedding
+
     @property
     def num_vantage_points(self) -> int:
         return self.coords.shape[1]

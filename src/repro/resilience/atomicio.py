@@ -1,0 +1,109 @@
+"""Atomic, checksummed file writes.
+
+Two layers, usable independently:
+
+* :func:`atomic_write` — the classic write-temp → flush → fsync →
+  ``os.replace`` dance (plus a best-effort directory fsync), so readers
+  only ever see the old file or the complete new one, never a prefix.
+* :func:`write_checksummed` / :func:`unwrap_checksummed` — a tiny
+  self-verifying container (magic, payload length, payload, crc32 footer)
+  for binary artifacts such as the index ``.npz``.  A torn or bit-rotted
+  file fails the length/checksum check and loading raises a clear
+  :class:`~repro.resilience.errors.CorruptIndexError` instead of a numpy
+  traceback.
+
+The container exists because atomicity only protects writes *through this
+code path*; files copied over flaky transports, truncated by full disks on
+other tools, or hand-edited still reach :func:`unwrap_checksummed`, which
+is the last line of defense.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+
+from repro.resilience import faults
+from repro.resilience.errors import CorruptIndexError
+
+#: Container magic: "RePRo Container v1".
+MAGIC = b"RPRC1\n"
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+
+
+@contextlib.contextmanager
+def atomic_write(path: str | os.PathLike, mode: str = "wb", encoding: str | None = None):
+    """Yield a file handle whose contents replace ``path`` atomically.
+
+    The temp file lives in the destination directory (``os.replace`` must
+    not cross filesystems) and is removed if the body raises.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    # Persist the rename itself (directory entry); best-effort — some
+    # filesystems refuse O_RDONLY directory fsync.
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def write_checksummed(path: str | os.PathLike, payload: bytes) -> None:
+    """Atomically write ``payload`` wrapped in the checksummed container."""
+    data = MAGIC + _LEN.pack(len(payload)) + payload + _CRC.pack(zlib.crc32(payload))
+    torn = faults.maybe_tear(data)
+    with atomic_write(path, "wb") as handle:
+        handle.write(data if torn is None else torn)
+
+
+def unwrap_checksummed(data: bytes, source: str = "<bytes>") -> bytes:
+    """Verify and strip the container; raise :class:`CorruptIndexError`
+    on any integrity failure (wrong magic, truncation, checksum)."""
+    header = len(MAGIC) + _LEN.size
+    if len(data) < header + _CRC.size:
+        raise CorruptIndexError(
+            f"{source}: truncated file ({len(data)} bytes is smaller than "
+            f"the container header)"
+        )
+    if data[: len(MAGIC)] != MAGIC:
+        raise CorruptIndexError(
+            f"{source}: bad magic — not a checksummed repro file"
+        )
+    (declared,) = _LEN.unpack_from(data, len(MAGIC))
+    expected_total = header + declared + _CRC.size
+    if len(data) != expected_total:
+        raise CorruptIndexError(
+            f"{source}: torn write detected — payload declares {declared} "
+            f"bytes but the file holds {len(data) - header - _CRC.size}"
+        )
+    payload = data[header:header + declared]
+    (stored_crc,) = _CRC.unpack_from(data, header + declared)
+    if zlib.crc32(payload) != stored_crc:
+        raise CorruptIndexError(f"{source}: checksum mismatch — file is corrupt")
+    return payload
+
+
+def read_checksummed(path: str | os.PathLike) -> bytes:
+    """Read ``path`` and return its verified payload."""
+    path = Path(path)
+    return unwrap_checksummed(path.read_bytes(), source=str(path))

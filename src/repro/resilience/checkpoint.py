@@ -1,0 +1,142 @@
+"""Checkpointed NB-Index builds.
+
+``NBIndex.build(checkpoint=path)`` snapshots each completed build stage —
+vantage selection, the vantage embedding, the threshold ladder, the
+flattened NB-Tree — into a single checksummed, atomically replaced file.
+A build killed between stages resumes with ``resume=True`` and, because
+the RNG state is checkpointed alongside every stage that consumes it,
+produces a **bit-identical** index to an uninterrupted build.
+
+The file is the same container + ``.npz`` pairing as the index itself
+(see :mod:`repro.resilience.atomicio`): stage arrays are stored under
+``"<stage>.<key>"``, the completed-stage list under ``"stages"``, and the
+database fingerprint guards against resuming someone else's build.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience import faults
+from repro.resilience.atomicio import unwrap_checksummed, write_checksummed
+from repro.resilience.errors import CheckpointError, DatabaseMismatchError
+
+_META_KEYS = frozenset({"stages", "fingerprint"})
+
+
+class BuildCheckpoint:
+    """Accumulating stage snapshots for one index build."""
+
+    def __init__(self, path: str | Path, fingerprint: np.ndarray):
+        self.path = Path(path)
+        self._fingerprint = np.asarray(fingerprint)
+        self._stages: list[str] = []
+        self._arrays: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def open(cls, path: str | Path, database, resume: bool = False) -> "BuildCheckpoint":
+        """Start (or, with ``resume=True`` and an existing file, reload) a
+        checkpoint for ``database``."""
+        # Lazy import: persistence imports the index package; this module
+        # must stay importable from anywhere.
+        from repro.index.persistence import database_fingerprint
+
+        checkpoint = cls(path, database_fingerprint(database))
+        if resume and checkpoint.path.exists():
+            checkpoint._load()
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        payload = unwrap_checksummed(
+            self.path.read_bytes(), source=str(self.path)
+        )
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            if "stages" not in data.files or "fingerprint" not in data.files:
+                raise CheckpointError(
+                    f"{self.path}: not a build checkpoint (missing metadata)"
+                )
+            stored = data["fingerprint"]
+            if stored.shape != self._fingerprint.shape or not bool(
+                (stored == self._fingerprint).all()
+            ):
+                raise DatabaseMismatchError(
+                    f"{self.path}: checkpoint fingerprint does not match the "
+                    f"provided database"
+                )
+            self._stages = [str(stage) for stage in data["stages"]]
+            self._arrays = {
+                key: data[key].copy()
+                for key in data.files
+                if key not in _META_KEYS
+            }
+
+    def completed(self, stage: str) -> bool:
+        return stage in self._stages
+
+    @property
+    def stages(self) -> tuple[str, ...]:
+        return tuple(self._stages)
+
+    def array(self, stage: str, key: str) -> np.ndarray:
+        try:
+            return self._arrays[f"{stage}.{key}"]
+        except KeyError:
+            raise CheckpointError(
+                f"{self.path}: stage {stage!r} has no array {key!r}"
+            ) from None
+
+    def stage_arrays(self, stage: str) -> dict[str, np.ndarray]:
+        """All arrays recorded for ``stage``, keyed without the prefix."""
+        prefix = stage + "."
+        return {
+            key[len(prefix):]: value
+            for key, value in self._arrays.items()
+            if key.startswith(prefix)
+        }
+
+    def restore_rng(self, stage: str, rng) -> None:
+        """Reset ``rng`` to its state right after ``stage`` completed."""
+        blob = self._arrays.get(f"{stage}.rng")
+        if blob is None:
+            raise CheckpointError(
+                f"{self.path}: stage {stage!r} recorded no RNG state"
+            )
+        rng.bit_generator.state = json.loads(bytes(bytearray(blob)).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_stage(self, stage: str, rng=None, **arrays) -> None:
+        """Durably record ``stage``'s outputs (and RNG state when the stage
+        consumed randomness), then hit the fault-injection site."""
+        for key, value in arrays.items():
+            self._arrays[f"{stage}.{key}"] = np.asarray(value)
+        if rng is not None:
+            state = json.dumps(rng.bit_generator.state)
+            self._arrays[f"{stage}.rng"] = np.frombuffer(
+                state.encode("utf-8"), dtype=np.uint8
+            )
+        if stage not in self._stages:
+            self._stages.append(stage)
+        self._flush()
+        faults.maybe_abort_stage(stage)
+
+    def _flush(self) -> None:
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            stages=np.array(self._stages),
+            fingerprint=self._fingerprint,
+            **self._arrays,
+        )
+        write_checksummed(self.path, buffer.getvalue())
+
+    def __repr__(self) -> str:
+        return f"BuildCheckpoint(path={str(self.path)!r}, stages={self._stages})"

@@ -1,0 +1,139 @@
+"""Deterministic fault injection for resilience tests and benchmarks.
+
+A :class:`FaultPlan` describes which failures to inject; code under test
+installs it (usually via the :func:`injected` context manager) and the
+library's hook points — pool worker entry, exact-GED calls, checksummed
+writes, build-stage checkpoints — consult the active plan.  With no plan
+installed every hook is a cheap ``None``-check, so production paths pay
+nothing.
+
+Cross-process determinism: pool workers are forked, so they inherit the
+plan installed in the parent *at pool-creation time*.  One-shot worker
+crashes are coordinated through a token *file*: the first worker chunk to
+atomically ``unlink`` it wins and dies; every other process sees the token
+gone and proceeds.  That makes "exactly one worker crashes, exactly once"
+reproducible regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised (in-process) by :func:`maybe_abort_stage` to simulate a kill
+    between build checkpoints."""
+
+
+@dataclass
+class FaultPlan:
+    """What to inject.  All fields default to "inject nothing".
+
+    crash_token:
+        Path to an existing file; the first pool-worker chunk to unlink it
+        calls ``os._exit`` — a hard one-shot worker death.
+    crash_always:
+        Every pool-worker chunk dies — exercises the serial fallback.
+    slow_sites:
+        ``{site: seconds}`` sleeps injected at named hook sites (e.g.
+        ``"ged.exact"``), at most ``slow_limit`` times per process.
+    slow_limit:
+        Cap on injected sleeps per process (``None`` = unlimited).
+    torn_write:
+        Truncate the next checksummed write mid-payload, simulating a
+        torn/partial write that the checksum footer must catch.
+    abort_after_stage:
+        Raise :class:`SimulatedCrash` right after this build stage is
+        checkpointed — the "kill -9 between stages" scenario.
+    """
+
+    crash_token: str | os.PathLike | None = None
+    crash_always: bool = False
+    slow_sites: dict = field(default_factory=dict)
+    slow_limit: int | None = None
+    torn_write: bool = False
+    abort_after_stage: str | None = None
+
+
+_PLAN: FaultPlan | None = None
+_slow_injected = 0
+
+
+def install(plan: FaultPlan) -> None:
+    """Make ``plan`` the active plan (inherited by workers forked later)."""
+    global _PLAN, _slow_injected
+    _PLAN = plan
+    _slow_injected = 0
+
+
+def clear() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Scoped install/clear — the idiom tests should use."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------------
+# Hook sites
+# ---------------------------------------------------------------------------
+def maybe_crash_worker() -> None:
+    """Pool-worker chunk entry.  Never called in the parent process —
+    ``os._exit`` here must only ever kill a worker."""
+    plan = _PLAN
+    if plan is None:
+        return
+    if plan.crash_always:
+        os._exit(3)
+    if plan.crash_token is not None:
+        try:
+            os.unlink(plan.crash_token)  # atomic: exactly one winner
+        except FileNotFoundError:
+            return
+        os._exit(3)
+
+
+def maybe_slow(site: str) -> None:
+    """Named slow-path site (e.g. the exact-GED solver)."""
+    plan = _PLAN
+    if plan is None:
+        return
+    seconds = plan.slow_sites.get(site)
+    if not seconds:
+        return
+    global _slow_injected
+    if plan.slow_limit is not None and _slow_injected >= plan.slow_limit:
+        return
+    _slow_injected += 1
+    time.sleep(seconds)
+
+
+def maybe_tear(data: bytes) -> bytes | None:
+    """Checksummed-write site: the truncated bytes to write instead, or
+    ``None`` for no injection.  One-shot — the plan's flag is consumed."""
+    plan = _PLAN
+    if plan is None or not plan.torn_write:
+        return None
+    plan.torn_write = False
+    return data[: max(1, len(data) // 2)]
+
+
+def maybe_abort_stage(stage: str) -> None:
+    """Build-checkpoint site: crash after ``stage`` was durably recorded."""
+    plan = _PLAN
+    if plan is not None and plan.abort_after_stage == stage:
+        raise SimulatedCrash(f"fault injection: killed after stage {stage!r}")

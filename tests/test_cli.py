@@ -201,6 +201,43 @@ class TestExperimentAll:
             assert any(hasattr(m, name) for m in modules), name
 
 
+class TestResilienceFlags:
+    def test_query_deadline_prints_footer(self, db_path, capsys):
+        assert main([
+            "query", str(db_path), "--k", "2", "--theta", "8",
+            "--vantage-points", "4", "--branching", "3",
+            "--deadline-ms", "60000",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Star distance never degrades (only exact GED does), so a generous
+        # budget reports "met" — the footer is the contract under test.
+        assert "deadline: met" in out
+
+    def test_build_index_checkpoint_and_resume(self, db_path, tmp_path, capsys):
+        index_path = tmp_path / "index.npz"
+        ckpt = tmp_path / "build.ckpt"
+        assert main([
+            "build-index", str(db_path), "--output", str(index_path),
+            "--vantage-points", "4", "--branching", "4",
+            "--checkpoint", str(ckpt),
+        ]) == 0
+        assert index_path.exists()
+        assert ckpt.exists()
+        # Resume from the (fully completed) checkpoint: every stage is
+        # restored instead of recomputed, and the index still queries.
+        resumed_path = tmp_path / "resumed.npz"
+        assert main([
+            "build-index", str(db_path), "--output", str(resumed_path),
+            "--vantage-points", "4", "--branching", "4",
+            "--checkpoint", str(ckpt), "--resume",
+        ]) == 0
+        assert main([
+            "query", str(db_path), "--k", "2", "--theta", "8",
+            "--index", str(resumed_path),
+        ]) == 0
+        assert "pi(A) =" in capsys.readouterr().out
+
+
 class TestModuleEntryPoint:
     def test_python_m_repro(self):
         import subprocess

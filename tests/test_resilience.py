@@ -1,0 +1,597 @@
+"""Resilience layer: deadline budgets and the exact→beam→bipartite
+degradation ladder, pool fault tolerance (respawn/backoff/serial
+fallback), checkpointed bit-identical builds, and the checksummed
+persistence container — all driven by deterministic fault injection
+(:mod:`repro.resilience.faults`)."""
+
+import io
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import DistanceEngine
+from repro.engine import pool as pool_module
+from repro.ged import ExactGED, StarDistance
+from repro.graphs import GraphDatabase, quartile_relevance
+from repro.graphs.io import load_database, save_database
+from repro.index import NBIndex
+from repro.index import persistence
+from repro.index.persistence import load_index, save_index
+from repro.resilience import (
+    BudgetExceeded,
+    CheckpointError,
+    CorruptIndexError,
+    DatabaseMismatchError,
+    Deadline,
+    IndexFormatError,
+    PersistenceError,
+    RetryPolicy,
+    atomic_write,
+    current_deadline,
+    deadline_scope,
+    faults,
+    read_checksummed,
+    write_checksummed,
+)
+from repro.resilience.checkpoint import BuildCheckpoint
+from repro.resilience.faults import FaultPlan, SimulatedCrash
+from tests.conftest import random_database
+
+
+def _fast_policy(max_attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.01, max_delay=0.02, jitter=0.0
+    )
+
+
+def _engine(distance, db, **kwargs):
+    params = dict(
+        workers=2,
+        respect_cpu_count=False,
+        parallel_threshold=1,
+        chunk_size=4,
+        graphs=db.graphs,
+        retry_policy=_fast_policy(),
+    )
+    params.update(kwargs)
+    return DistanceEngine(distance, **params)
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_requires_at_least_one_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline()
+
+    def test_rejects_negative_time_and_zero_expansions(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+        with pytest.raises(ValueError):
+            Deadline(expansion_limit=0)
+
+    def test_time_budget_expiry(self):
+        assert Deadline(0.0).expired()
+        generous = Deadline(60.0)
+        assert not generous.expired()
+        assert generous.remaining() > 0
+
+    def test_expansion_only_deadline_never_times_out(self):
+        deadline = Deadline(expansion_limit=5)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+
+    def test_after_ms(self):
+        deadline = Deadline.after_ms(50)
+        assert deadline.seconds == pytest.approx(0.05)
+
+    def test_state_roundtrip_shares_expiry(self):
+        deadline = Deadline(60.0, expansion_limit=7)
+        clone = Deadline.from_state(deadline.state())
+        assert clone.expansion_limit == 7
+        assert clone.remaining() == pytest.approx(deadline.remaining(), abs=0.05)
+        assert not clone.degraded
+
+    def test_degradation_accounting(self):
+        deadline = Deadline(60.0)
+        assert not deadline.degraded
+        deadline.record_degradation("ged.exact.beam")
+        deadline.record_degradation("ged.exact.beam")
+        deadline.merge_degradations({"ged.exact.bipartite": 3})
+        assert deadline.degraded
+        assert deadline.degradations == {
+            "ged.exact.beam": 2,
+            "ged.exact.bipartite": 3,
+        }
+
+    def test_scope_nesting_and_none_passthrough(self):
+        outer = Deadline(60.0)
+        inner = Deadline(30.0)
+        assert current_deadline() is None
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(None):
+                assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_exponential_capped_jittered_delay(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.25)
+        for attempt, expected in [(0, 0.1), (1, 0.2), (2, 0.4), (5, 0.5)]:
+            for _ in range(5):
+                delay = policy.delay(attempt)
+                assert expected <= delay <= expected * 1.25
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder (serial exact GED)
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    @pytest.fixture()
+    def pair(self):
+        db = random_database(seed=5, size=4, min_nodes=4, max_nodes=6)
+        return db[0], db[1]
+
+    def test_expansion_budget_degrades_to_beam(self, pair):
+        g1, g2 = pair
+        exact = ExactGED()(g1, g2)
+        with deadline_scope(Deadline(3600.0, expansion_limit=1)) as deadline:
+            value = ExactGED()(g1, g2)
+        assert deadline.degradations.get("ged.exact.beam", 0) >= 1
+        assert "ged.exact.bipartite" not in deadline.degradations
+        assert value >= exact - 1e-9  # upper bound
+
+    def test_expired_time_budget_degrades_to_bipartite(self, pair):
+        g1, g2 = pair
+        exact = ExactGED()(g1, g2)
+        with deadline_scope(Deadline(0.0)) as deadline:
+            value = ExactGED()(g1, g2)
+        assert deadline.degradations.get("ged.exact.bipartite", 0) >= 1
+        assert value >= exact - 1e-9
+
+    def test_no_deadline_stays_exact(self, pair):
+        g1, g2 = pair
+        assert current_deadline() is None
+        reference = ExactGED()(g1, g2)
+        assert ExactGED()(g1, g2) == pytest.approx(reference)
+
+    def test_generous_budget_stays_exact(self, pair):
+        g1, g2 = pair
+        exact = ExactGED()(g1, g2)
+        with deadline_scope(Deadline(3600.0)) as deadline:
+            value = ExactGED()(g1, g2)
+        assert value == pytest.approx(exact)
+        assert not deadline.degraded
+
+    def test_budget_exceeded_reason(self):
+        assert BudgetExceeded("time").reason == "time"
+        assert BudgetExceeded("expansions").reason == "expansions"
+
+
+# ---------------------------------------------------------------------------
+# Pool fault tolerance
+# ---------------------------------------------------------------------------
+class TestPoolFaultTolerance:
+    @pytest.fixture()
+    def db(self):
+        return random_database(seed=2, size=40)
+
+    def test_one_shot_worker_crash_respawns_and_retries(self, db, tmp_path):
+        token = tmp_path / "crash-token"
+        token.write_text("armed")
+        serial = DistanceEngine(StarDistance(), workers=1, graphs=db.graphs)
+        expected = serial.one_to_many(0, list(range(1, 30)))
+
+        engine = _engine(StarDistance(), db)
+        try:
+            with faults.injected(FaultPlan(crash_token=str(token))):
+                got = engine.one_to_many(0, list(range(1, 30)))
+        finally:
+            engine.invalidate_pool()
+        np.testing.assert_allclose(got, expected)
+        stats = engine.stats()
+        assert stats["pool_retries"] == 1
+        assert stats["pool_respawns"] == 1
+        assert stats["pool_serial_fallbacks"] == 0
+        assert not token.exists()  # the dying worker consumed it
+
+    def test_persistent_crashes_fall_back_to_serial(self, db):
+        serial = DistanceEngine(StarDistance(), workers=1, graphs=db.graphs)
+        expected = serial.one_to_many(0, list(range(1, 20)))
+
+        engine = _engine(StarDistance(), db, retry_policy=_fast_policy(3))
+        try:
+            with faults.injected(FaultPlan(crash_always=True)):
+                got = engine.one_to_many(0, list(range(1, 20)))
+        finally:
+            engine.invalidate_pool()
+        np.testing.assert_allclose(got, expected)
+        stats = engine.stats()
+        assert stats["pool_retries"] == 3
+        assert stats["pool_respawns"] == 2
+        assert stats["pool_serial_fallbacks"] == 1
+
+    def test_worker_degradations_merge_into_parent_deadline(self, db):
+        small = random_database(seed=9, size=10, min_nodes=3, max_nodes=5)
+        engine = _engine(ExactGED(), small)
+        try:
+            with deadline_scope(Deadline(3600.0, expansion_limit=1)) as deadline:
+                values = engine.one_to_many(0, list(range(1, 8)))
+        finally:
+            engine.invalidate_pool()
+        assert len(values) == 7
+        # Workers raised BudgetExceeded, degraded to beam, and shipped the
+        # counts back across the process boundary.
+        assert deadline.degradations.get("ged.exact.beam", 0) >= 1
+
+    def test_fork_unavailable_falls_back_and_logs(self, monkeypatch):
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return real_get_context(method)
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        with obs.observe():
+            context = pool_module._pool_context()
+            counters = obs.get_registry().snapshot()["counters"]
+        assert context is not None
+        assert counters["engine.pool.fork_unavailable"] == 1
+
+
+# ---------------------------------------------------------------------------
+# The ISSUE acceptance scenario: crash + slow GED + deadline, end to end
+# ---------------------------------------------------------------------------
+class TestDegradedQueryUnderFaults:
+    def test_indexed_query_survives_faults_and_flags_degradation(self, tmp_path):
+        db = random_database(seed=11, size=24, min_nodes=3, max_nodes=5)
+        query = quartile_relevance(db, quantile=0.3)
+        engine = _engine(ExactGED(), db)
+        try:
+            index = NBIndex.build(
+                db, ExactGED(), engine=engine,
+                num_vantage_points=4, branching=4, seed=0,
+            )
+            # Drop the build-time pool and cache: the query must fork fresh
+            # workers under the fault plan and recompute distances under
+            # the deadline.
+            engine.invalidate_pool()
+            engine._cache.clear()
+            engine.reset()
+
+            token = tmp_path / "crash-token"
+            token.write_text("armed")
+            plan = FaultPlan(
+                crash_token=str(token),
+                slow_sites={"ged.exact": 0.05},
+                slow_limit=1,
+            )
+            deadline = Deadline(seconds=0.02)
+            with faults.injected(plan):
+                result = index.query(query, theta=4.0, k=3, deadline=deadline)
+        finally:
+            engine.invalidate_pool()
+
+        # A valid answer came back despite a dead worker and a stalled pair.
+        assert result.answer
+        assert all(0 <= gid < len(db) for gid in result.answer)
+        assert all(gain >= 0 for gain in result.gains)
+        # ...and it is honestly flagged as degraded.
+        assert result.stats.degraded
+        assert result.stats.degradation_events > 0
+        assert set(result.stats.degradations) <= {
+            "ged.exact.beam", "ged.exact.bipartite",
+        }
+        assert deadline.degraded
+        # The crash was recovered through respawn + retry.
+        stats = engine.stats()
+        assert stats["pool_retries"] >= 1
+        assert stats["pool_respawns"] >= 1
+        assert not token.exists()
+
+    def test_query_deadline_without_faults_marks_stats(self):
+        db = random_database(seed=3, size=16, min_nodes=3, max_nodes=5)
+        query = quartile_relevance(db, quantile=0.3)
+        index = NBIndex.build(
+            db, ExactGED(), num_vantage_points=4, branching=4, seed=0, workers=1,
+        )
+        index._counting._cache.clear()
+        result = index.query(
+            query, theta=4.0, k=3, deadline=Deadline(3600.0, expansion_limit=1)
+        )
+        assert result.answer
+        assert result.stats.degraded
+        assert result.stats.degradations.get("ged.exact.beam", 0) >= 1
+
+    def test_ambient_deadline_scope_reaches_query(self):
+        db = random_database(seed=3, size=16, min_nodes=3, max_nodes=5)
+        query = quartile_relevance(db, quantile=0.3)
+        index = NBIndex.build(
+            db, ExactGED(), num_vantage_points=4, branching=4, seed=0, workers=1,
+        )
+        index._counting._cache.clear()
+        with deadline_scope(Deadline(3600.0, expansion_limit=1)):
+            result = index.query(query, theta=4.0, k=3)
+        assert result.stats.degraded
+
+    def test_undegraded_query_stats_stay_clean(self):
+        db = random_database(seed=3, size=16, min_nodes=3, max_nodes=5)
+        query = quartile_relevance(db, quantile=0.3)
+        index = NBIndex.build(
+            db, StarDistance(), num_vantage_points=4, branching=4, seed=0, workers=1,
+        )
+        result = index.query(query, theta=4.0, k=3)
+        assert not result.stats.degraded
+        assert result.stats.degradation_events == 0
+        assert result.stats.degradations == {}
+
+
+# ---------------------------------------------------------------------------
+# Checkpointed builds
+# ---------------------------------------------------------------------------
+def _index_arrays(path):
+    payload = read_checksummed(path)
+    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+BUILD_PARAMS = dict(num_vantage_points=5, branching=4, seed=13)
+
+
+class TestCheckpointResume:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return random_database(seed=7, size=30)
+
+    @pytest.mark.parametrize("stage", ["vantage", "embed", "ladder", "tree"])
+    def test_killed_build_resumes_bit_identical(self, db, tmp_path, stage):
+        dist = StarDistance()
+        reference = NBIndex.build(db, dist, workers=1, **BUILD_PARAMS)
+        ref_path = tmp_path / "reference.npz"
+        save_index(reference, ref_path)
+
+        ckpt = tmp_path / f"build-{stage}.ckpt"
+        with faults.injected(FaultPlan(abort_after_stage=stage)):
+            with pytest.raises(SimulatedCrash):
+                NBIndex.build(
+                    db, dist, workers=1, checkpoint=str(ckpt), **BUILD_PARAMS
+                )
+        assert ckpt.exists()
+
+        resumed = NBIndex.build(
+            db, dist, workers=1, checkpoint=str(ckpt), resume=True, **BUILD_PARAMS
+        )
+        res_path = tmp_path / "resumed.npz"
+        save_index(resumed, res_path)
+
+        ref_arrays = _index_arrays(ref_path)
+        res_arrays = _index_arrays(res_path)
+        assert set(ref_arrays) == set(res_arrays)
+        for key in ref_arrays:
+            if key == "build_seconds":
+                continue
+            assert np.array_equal(ref_arrays[key], res_arrays[key]), key
+
+    def test_resume_rejects_other_database(self, db, tmp_path):
+        ckpt = tmp_path / "build.ckpt"
+        with faults.injected(FaultPlan(abort_after_stage="vantage")):
+            with pytest.raises(SimulatedCrash):
+                NBIndex.build(
+                    db, StarDistance(), workers=1,
+                    checkpoint=str(ckpt), **BUILD_PARAMS,
+                )
+        other = random_database(seed=8, size=30)
+        with pytest.raises(DatabaseMismatchError, match="fingerprint"):
+            NBIndex.build(
+                other, StarDistance(), workers=1,
+                checkpoint=str(ckpt), resume=True, **BUILD_PARAMS,
+            )
+
+    def test_non_checkpoint_file_rejected(self, db, tmp_path):
+        bogus = tmp_path / "bogus.ckpt"
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, x=np.arange(3))
+        write_checksummed(bogus, buffer.getvalue())
+        with pytest.raises(CheckpointError, match="not a build checkpoint"):
+            BuildCheckpoint.open(bogus, db, resume=True)
+
+    def test_fresh_open_ignores_existing_file_without_resume(self, db, tmp_path):
+        path = tmp_path / "stale.ckpt"
+        path.write_bytes(b"garbage that would never parse")
+        checkpoint = BuildCheckpoint.open(path, db, resume=False)
+        assert checkpoint.stages == ()
+
+    def test_missing_stage_array_raises(self, db, tmp_path):
+        checkpoint = BuildCheckpoint.open(tmp_path / "new.ckpt", db)
+        with pytest.raises(CheckpointError, match="no array"):
+            checkpoint.array("vantage", "vp_indices")
+
+
+# ---------------------------------------------------------------------------
+# Persistence integrity (torn writes, truncation, versioning, fingerprints)
+# ---------------------------------------------------------------------------
+class TestPersistenceIntegrity:
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        db = random_database(seed=4, size=25)
+        dist = StarDistance()
+        index = NBIndex.build(
+            db, dist, num_vantage_points=4, branching=4, seed=1, workers=1
+        )
+        path = tmp_path_factory.mktemp("index") / "index.npz"
+        save_index(index, path)
+        return db, dist, index, path
+
+    def test_roundtrip_still_works(self, saved):
+        db, dist, index, path = saved
+        loaded = load_index(path, db, dist)
+        assert np.array_equal(loaded.embedding.coords, index.embedding.coords)
+
+    def test_torn_write_detected_on_load(self, saved, tmp_path):
+        db, dist, index, _ = saved
+        torn = tmp_path / "torn.npz"
+        with faults.injected(FaultPlan(torn_write=True)):
+            save_index(index, torn)
+        with pytest.raises(CorruptIndexError, match="torn write"):
+            load_index(torn, db, dist)
+
+    def test_truncated_file_detected(self, saved, tmp_path):
+        db, dist, _, path = saved
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(CorruptIndexError):
+            load_index(clipped, db, dist)
+
+    def test_tiny_file_detected(self, saved, tmp_path):
+        db, dist, _, _ = saved
+        stub = tmp_path / "stub.npz"
+        stub.write_bytes(b"RP")
+        with pytest.raises(CorruptIndexError, match="truncated"):
+            load_index(stub, db, dist)
+
+    def test_bad_magic_detected(self, saved, tmp_path):
+        db, dist, _, path = saved
+        raw = bytearray(path.read_bytes())
+        raw[:6] = b"NOTME\n"
+        mangled = tmp_path / "mangled.npz"
+        mangled.write_bytes(bytes(raw))
+        with pytest.raises(CorruptIndexError, match="magic"):
+            load_index(mangled, db, dist)
+
+    def test_bit_flip_fails_checksum(self, saved, tmp_path):
+        db, dist, _, path = saved
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        flipped = tmp_path / "flipped.npz"
+        flipped.write_bytes(bytes(raw))
+        with pytest.raises(CorruptIndexError, match="checksum"):
+            load_index(flipped, db, dist)
+
+    def test_wrong_database_fingerprint(self, saved):
+        _, dist, _, path = saved
+        other = random_database(seed=99, size=25)
+        with pytest.raises(DatabaseMismatchError, match="fingerprint"):
+            load_index(path, other, dist)
+
+    def test_future_format_version_rejected(self, saved, tmp_path, monkeypatch):
+        db, dist, index, _ = saved
+        future = tmp_path / "future.npz"
+        with pytest.MonkeyPatch.context() as patched:
+            patched.setattr(persistence, "FORMAT_VERSION", 99)
+            save_index(index, future)
+        with pytest.raises(IndexFormatError, match="99"):
+            load_index(future, db, dist)
+
+    def test_legacy_bare_npz_still_loads(self, saved, tmp_path):
+        db, dist, index, path = saved
+        legacy = tmp_path / "legacy.npz"
+        legacy.write_bytes(read_checksummed(path))
+        loaded = load_index(legacy, db, dist)
+        assert np.array_equal(loaded.embedding.coords, index.embedding.coords)
+
+    def test_exception_hierarchy_is_valueerror(self):
+        for exc in (CorruptIndexError, IndexFormatError,
+                    DatabaseMismatchError, CheckpointError):
+            assert issubclass(exc, PersistenceError)
+            assert issubclass(exc, ValueError)
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+class TestAtomicIO:
+    def test_atomic_write_replaces_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_write(path, "w", encoding="utf-8") as handle:
+            handle.write("new contents")
+        assert path.read_text() == "new contents"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_leaves_original_and_no_temp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_write(path, "w", encoding="utf-8") as handle:
+                handle.write("half-finish")
+                raise RuntimeError("boom")
+        assert path.read_text() == "precious"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_checksummed_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        payload = b"\x00\x01payload bytes\xff" * 100
+        write_checksummed(path, payload)
+        assert read_checksummed(path) == payload
+
+    def test_save_database_crash_keeps_previous_file(self, tmp_path):
+        db = random_database(seed=1, size=6)
+        path = tmp_path / "db.jsonl"
+        save_database(db, path)
+
+        class ExplodingDatabase(GraphDatabase):
+            def feature_vector(self, index):
+                if index >= 2:
+                    raise RuntimeError("disk on fire")
+                return super().feature_vector(index)
+
+        bad = ExplodingDatabase(db.graphs, db.features)
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            save_database(bad, path)
+        reloaded = load_database(path)
+        assert len(reloaded) == len(db)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ---------------------------------------------------------------------------
+# Fault harness self-checks
+# ---------------------------------------------------------------------------
+class TestFaultHarness:
+    def test_injected_scope_installs_and_clears(self):
+        assert faults.active() is None
+        plan = FaultPlan(torn_write=True)
+        with faults.injected(plan):
+            assert faults.active() is plan
+        assert faults.active() is None
+
+    def test_maybe_tear_is_one_shot(self):
+        with faults.injected(FaultPlan(torn_write=True)):
+            first = faults.maybe_tear(b"0123456789")
+            second = faults.maybe_tear(b"0123456789")
+        assert first == b"01234"
+        assert second is None
+
+    def test_slow_limit_caps_injections(self):
+        with faults.injected(FaultPlan(slow_sites={"x": 0.001}, slow_limit=2)):
+            for _ in range(5):
+                faults.maybe_slow("x")
+            assert faults._slow_injected == 2
+
+    def test_abort_after_stage_only_fires_on_named_stage(self):
+        with faults.injected(FaultPlan(abort_after_stage="tree")):
+            faults.maybe_abort_stage("vantage")
+            with pytest.raises(SimulatedCrash):
+                faults.maybe_abort_stage("tree")
+
+    def test_no_plan_hooks_are_noops(self):
+        assert faults.active() is None
+        faults.maybe_crash_worker()
+        faults.maybe_slow("anything")
+        faults.maybe_abort_stage("anything")
+        assert faults.maybe_tear(b"data") is None
