@@ -6,6 +6,7 @@ Wires the library's main workflows into subcommands::
     repro stats dud.jsonl
     repro build-index dud.jsonl --output dud-index.npz
     repro query dud.jsonl --k 10 [--theta 10] [--index dud-index.npz]
+    repro serve dud.jsonl --index dud-index.npz [--tcp 127.0.0.1:7341]
     repro experiment fig2a_disc_growth
 
 ``repro experiment`` runs any benchmark driver by name and prints its
@@ -130,7 +131,7 @@ def cmd_query(args) -> int:
     if args.deadline_ms is not None:
         from repro.resilience import Deadline
 
-        deadline = Deadline.after_ms(args.deadline_ms)
+        deadline = Deadline.from_timeout_ms(args.deadline_ms)
 
     from repro.resilience.deadline import deadline_scope
 
@@ -184,6 +185,64 @@ def _print_degradation_footer(deadline) -> None:
         f"bounds ({breakdown}); pi/CR above are computed on approximate "
         f"neighborhoods"
     )
+
+
+def cmd_serve(args) -> int:
+    from repro.service import BreakerConfig, QueryService, ServiceConfig
+    from repro.service.server import serve_lines, serve_tcp
+
+    observation = _start_observation(args)
+    config = ServiceConfig(
+        max_concurrency=args.concurrency,
+        max_queue=args.max_queue,
+        default_timeout_ms=args.deadline_ms,
+        drain_grace_s=args.drain_grace,
+        breaker=BreakerConfig(cooldown_s=args.breaker_cooldown),
+        crash_log=args.crash_log,
+        watch=args.watch,
+        reload_poll_s=args.reload_poll,
+        metrics_path=args.metrics,
+    )
+    service = QueryService.open(
+        args.database,
+        index_path=args.index,
+        config=config,
+        workers=args.workers,
+        seed=args.seed,
+    ).start()
+    print(
+        f"serving {args.database} "
+        f"({len(service.manager.database)} graphs, "
+        f"generation {service.manager.generation}); "
+        f"workers={config.max_concurrency} queue={config.max_queue}",
+        file=sys.stderr,
+    )
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        server = serve_tcp(service, host or "127.0.0.1", int(port))
+        bound = server.server_address
+        print(f"listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            report = service.drain()
+            print(f"drained: {report}", file=sys.stderr)
+    else:
+        report = serve_lines(service, sys.stdin, sys.stdout)
+        print(f"drained: {report}", file=sys.stderr)
+    # stdout is the response stream, so the observability epilogue goes to
+    # stderr (drain already flushed the metrics document itself).
+    if observation is not None:
+        if args.metrics:
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+        if args.trace:
+            observation.report(file=sys.stderr)
+        observation.__exit__(None, None, None)
+    return 0
 
 
 #: The canonical reproduction set run by ``repro experiment --all``:
@@ -349,6 +408,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="print the counter/span report after the query")
     p.set_defaults(func=cmd_query)
+
+    p = subparsers.add_parser(
+        "serve",
+        help="run the long-lived query service (line-JSON on stdin or TCP)",
+    )
+    p.add_argument("database")
+    p.add_argument("--index", default=None, metavar="PATH",
+                   help="prebuilt index (.npz); also becomes the hot-reload "
+                        "watch target unless --watch overrides it")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on a TCP socket instead of stdin/stdout "
+                        "(use :0 for an ephemeral port)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="worker threads executing queries (default: 2)")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="requests allowed to wait before shedding (default: 16)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="default per-request budget; queue wait counts "
+                        "against it (requests may override via timeout_ms)")
+    p.add_argument("--drain-grace", type=float, default=5.0, metavar="S",
+                   help="seconds to let in-flight work finish on shutdown")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0, metavar="S",
+                   help="open-breaker cooldown before the half-open probe")
+    p.add_argument("--watch", default=None, metavar="PATH",
+                   help="index artifact to watch for hot reload")
+    p.add_argument("--reload-poll", type=float, default=1.0, metavar="S",
+                   help="watch-path polling interval (default: 1s)")
+    p.add_argument("--crash-log", default=None, metavar="PATH",
+                   help="append per-query crash journal entries (JSON lines)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="distance-engine processes (default: "
+                        "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="flush a repro.obs metrics document on drain "
+                        "(.prom → Prometheus text, else JSON)")
+    p.add_argument("--trace", action="store_true",
+                   help="print the counter/span report after drain")
+    p.set_defaults(func=cmd_serve)
 
     p = subparsers.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", nargs="?", default=None,

@@ -33,6 +33,7 @@ Worker count resolution: an explicit ``workers`` argument wins, then the
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Sequence
 
@@ -131,6 +132,13 @@ class DistanceEngine:
         self._pool = None
         self._pool_observed = False
         self._cache: dict[tuple, float] = {}
+        # The pair cache and its counters are shared across every consumer,
+        # including the query service's worker threads; the lock covers the
+        # scan/write-back phases only — real distance evaluation runs
+        # outside it, so concurrent batches still overlap.  Two threads
+        # missing on the same key may both evaluate it; the metric is
+        # deterministic, so the duplicate write is idempotent.
+        self._cache_lock = threading.RLock()
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.reset()
 
@@ -235,18 +243,22 @@ class DistanceEngine:
     def __call__(self, g1, g2) -> float:
         a, b = self._resolve(g1), self._resolve(g2)
         key = _pair_key(a, b)
-        value = self._cache.get(key)
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self.cache_hits += 1
+            else:
+                self.evaluations += 1
         if value is not None:
-            self.cache_hits += 1
             obs.counter("engine.cache_hits")
             return value
-        self.evaluations += 1
         obs.counter("engine.evaluations")
         if self._evaluator is not None:
             value = float(self._evaluator.one_to_many(a, [b])[0])
         else:
             value = float(self.inner(a, b))
-        self._cache[key] = value
+        with self._cache_lock:
+            self._cache[key] = value
         return value
 
     # ------------------------------------------------------------------
@@ -258,63 +270,69 @@ class DistanceEngine:
         out = np.empty(len(targets), dtype=np.float64)
         if not targets:
             return out
-        hits_before = self.cache_hits
         source_graph = self._resolve(source)
         miss_positions: dict[tuple, list[int]] = {}
         miss_refs: list = []
-        for position, ref in enumerate(targets):
-            graph = self._resolve(ref)
-            key = _pair_key(source_graph, graph)
-            value = self._cache.get(key)
-            if value is not None:
-                self.cache_hits += 1
-                out[position] = value
-            elif key in miss_positions:
-                self.cache_hits += 1  # duplicate within the batch
-                miss_positions[key].append(position)
-            else:
-                miss_positions[key] = [position]
-                miss_refs.append((ref, graph))
+        hits = 0
+        with self._cache_lock:
+            for position, ref in enumerate(targets):
+                graph = self._resolve(ref)
+                key = _pair_key(source_graph, graph)
+                value = self._cache.get(key)
+                if value is not None:
+                    hits += 1
+                    out[position] = value
+                elif key in miss_positions:
+                    hits += 1  # duplicate within the batch
+                    miss_positions[key].append(position)
+                else:
+                    miss_positions[key] = [position]
+                    miss_refs.append((ref, graph))
+            self.cache_hits += hits
         if miss_refs:
             values = self._evaluate_one_to_many(source, source_graph, miss_refs)
-            for (key, positions), value in zip(miss_positions.items(), values):
-                value = float(value)
-                self._cache[key] = value
-                for position in positions:
-                    out[position] = value
-        if self.cache_hits != hits_before:
-            obs.counter("engine.cache_hits", self.cache_hits - hits_before)
+            with self._cache_lock:
+                for (key, positions), value in zip(miss_positions.items(), values):
+                    value = float(value)
+                    self._cache[key] = value
+                    for position in positions:
+                        out[position] = value
+        if hits:
+            obs.counter("engine.cache_hits", hits)
         return out
 
     def pairs(self, pairlist) -> np.ndarray:
         """Distances for an explicit ``[(a, b), ...]`` list of pairs."""
         pairlist = list(pairlist)
         out = np.empty(len(pairlist), dtype=np.float64)
-        hits_before = self.cache_hits
         miss_positions: dict[tuple, list[int]] = {}
         miss_refs: list = []
-        for position, (ref_a, ref_b) in enumerate(pairlist):
-            a, b = self._resolve(ref_a), self._resolve(ref_b)
-            key = _pair_key(a, b)
-            value = self._cache.get(key)
-            if value is not None:
-                self.cache_hits += 1
-                out[position] = value
-            elif key in miss_positions:
-                self.cache_hits += 1
-                miss_positions[key].append(position)
-            else:
-                miss_positions[key] = [position]
-                miss_refs.append(((ref_a, a), (ref_b, b)))
+        hits = 0
+        with self._cache_lock:
+            for position, (ref_a, ref_b) in enumerate(pairlist):
+                a, b = self._resolve(ref_a), self._resolve(ref_b)
+                key = _pair_key(a, b)
+                value = self._cache.get(key)
+                if value is not None:
+                    hits += 1
+                    out[position] = value
+                elif key in miss_positions:
+                    hits += 1
+                    miss_positions[key].append(position)
+                else:
+                    miss_positions[key] = [position]
+                    miss_refs.append(((ref_a, a), (ref_b, b)))
+            self.cache_hits += hits
         if miss_refs:
             values = self._evaluate_pairs(miss_refs)
-            for (key, positions), value in zip(miss_positions.items(), values):
-                value = float(value)
-                self._cache[key] = value
-                for position in positions:
-                    out[position] = value
-        if self.cache_hits != hits_before:
-            obs.counter("engine.cache_hits", self.cache_hits - hits_before)
+            with self._cache_lock:
+                for (key, positions), value in zip(miss_positions.items(), values):
+                    value = float(value)
+                    self._cache[key] = value
+                    for position in positions:
+                        out[position] = value
+        if hits:
+            obs.counter("engine.cache_hits", hits)
         return out
 
     def matrix(self, items=None) -> np.ndarray:
@@ -362,11 +380,12 @@ class DistanceEngine:
         lower = np.max(np.abs(coords[target_ids] - source_row), axis=1)
         undecided = lower <= theta + eps
         rejected = int(np.count_nonzero(~undecided))
-        self.prefilter_lower_rejections += rejected
         upper = np.min(coords[target_ids] + source_row, axis=1)
         accepted = undecided & (upper <= theta + eps)
         accepts = int(np.count_nonzero(accepted))
-        self.prefilter_upper_accepts += accepts
+        with self._cache_lock:
+            self.prefilter_lower_rejections += rejected
+            self.prefilter_upper_accepts += accepts
         mask[accepted] = True
         remaining = np.flatnonzero(undecided & ~accepted)
         obs.counter("engine.prefilter.candidates", len(targets))
@@ -502,9 +521,10 @@ class DistanceEngine:
         return max(8, -(-total // (self.pool_workers * 2)))
 
     def _evaluate_one_to_many(self, source_ref, source_graph, miss_refs):
-        self.batches += 1
         count = len(miss_refs)
-        self.evaluations += count
+        with self._cache_lock:
+            self.batches += 1
+            self.evaluations += count
         obs.counter("engine.batches")
         obs.counter("engine.evaluations", count)
         obs.histogram("engine.batch_size", count)
@@ -527,9 +547,10 @@ class DistanceEngine:
         return [float(self.inner(source_graph, graph)) for graph in graphs]
 
     def _evaluate_pairs(self, miss_refs):
-        self.batches += 1
         count = len(miss_refs)
-        self.evaluations += count
+        with self._cache_lock:
+            self.batches += 1
+            self.evaluations += count
         obs.counter("engine.batches")
         obs.counter("engine.evaluations", count)
         obs.histogram("engine.batch_size", count)

@@ -29,11 +29,13 @@ storage (see :mod:`repro.graphs.io`); the index references them by id.
 from __future__ import annotations
 
 import io
+import warnings
 import zlib
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.ged.metric import GraphDistanceFn
 from repro.graphs.database import GraphDatabase
 from repro.index.nbindex import NBIndex
@@ -50,6 +52,27 @@ _SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Zip local-file-header magic — how a legacy bare-``.npz`` index starts.
 _ZIP_MAGIC = b"PK"
+
+#: One-shot latch for the legacy-format deprecation warning: operators get
+#: told once per process, while the obs counter records *every* legacy
+#: load so unmigrated artifacts can be found from metrics.
+_legacy_warned = False
+
+
+def _note_legacy_load(path: Path) -> None:
+    global _legacy_warned
+    obs.counter("persistence.legacy_npz_loads")
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    warnings.warn(
+        f"{path}: loading a legacy bare-.npz index (format version 1, no "
+        f"checksum footer — torn writes and bit rot go undetected); "
+        f"re-save with save_index() to migrate to the checksummed "
+        f"container",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def database_fingerprint(database: GraphDatabase) -> np.ndarray:
@@ -169,6 +192,7 @@ def load_index(
     raw = path.read_bytes()
     if raw[: len(_ZIP_MAGIC)] == _ZIP_MAGIC:
         payload = raw  # pre-container index (format version 1)
+        _note_legacy_load(path)
     else:
         payload = unwrap_checksummed(raw, source=str(path))
     with np.load(io.BytesIO(payload)) as data:

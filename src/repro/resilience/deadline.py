@@ -22,6 +22,7 @@ to the pool means the same moment everywhere.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 
 from repro import obs
@@ -72,23 +73,39 @@ class Deadline:
         self.degradations: dict[str, int] = {}
 
     @classmethod
-    def after_ms(cls, milliseconds: float, *, expansion_limit: int | None = None) -> "Deadline":
-        """Convenience constructor for CLI-style millisecond budgets."""
+    def from_timeout_ms(
+        cls, milliseconds: float, *, expansion_limit: int | None = None
+    ) -> "Deadline":
+        """Millisecond-budget constructor shared by the CLI
+        (``--deadline-ms``) and the service admission path."""
+        require(
+            float(milliseconds) >= 0.0,
+            f"timeout must be >= 0 ms, got {milliseconds}",
+        )
         return cls(float(milliseconds) / 1000.0, expansion_limit=expansion_limit)
+
+    @classmethod
+    def after_ms(cls, milliseconds: float, *, expansion_limit: int | None = None) -> "Deadline":
+        """Alias of :meth:`from_timeout_ms` (the original CLI spelling)."""
+        return cls.from_timeout_ms(milliseconds, expansion_limit=expansion_limit)
 
     # ------------------------------------------------------------------
     # Budget checks
     # ------------------------------------------------------------------
     def remaining(self) -> float | None:
-        """Seconds left (may be negative), or ``None`` with no time budget."""
+        """Seconds left, clamped at ``0.0`` once expired; ``None`` with no
+        time budget.  Never negative, so callers can use it directly as a
+        wait timeout without re-clamping."""
         if self._expires_at is None:
             return None
-        return self._expires_at - time.monotonic()
+        return max(0.0, self._expires_at - time.monotonic())
 
     def expired(self) -> bool:
         """True once the wall-clock budget is exhausted."""
-        remaining = self.remaining()
-        return remaining is not None and remaining <= 0.0
+        return (
+            self._expires_at is not None
+            and time.monotonic() >= self._expires_at
+        )
 
     # ------------------------------------------------------------------
     # Degradation accounting
@@ -140,14 +157,26 @@ class Deadline:
 
 
 # ---------------------------------------------------------------------------
-# Ambient deadline (same module-global pattern as the repro.obs registry)
+# Ambient deadline.  The stack is *thread-local*: the query service runs
+# concurrent requests on worker threads, each under its own per-request
+# deadline, and a shared stack would leak one request's budget into
+# another.  Forked pool workers never rely on the ambient stack — the
+# engine ships the deadline state inside each chunk payload.
 # ---------------------------------------------------------------------------
-_stack: list[Deadline] = []
+_local = threading.local()
+
+
+def _stack() -> list[Deadline]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 def current_deadline() -> Deadline | None:
-    """The innermost active deadline, or ``None``."""
-    return _stack[-1] if _stack else None
+    """The innermost active deadline *on this thread*, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 @contextlib.contextmanager
@@ -161,8 +190,9 @@ def deadline_scope(deadline: Deadline | None):
     if deadline is None:
         yield None
         return
-    _stack.append(deadline)
+    stack = _stack()
+    stack.append(deadline)
     try:
         yield deadline
     finally:
-        _stack.pop()
+        stack.pop()

@@ -1,0 +1,219 @@
+"""Admission control: a bounded queue that sheds instead of growing.
+
+The controller is the service's only front door.  Every request either
+gets a :class:`Ticket` (it will be executed, or deadline-cancelled, and
+its future will complete) or is rejected *immediately* with a typed
+:class:`~repro.service.errors.Overloaded` carrying a retry-after hint —
+never silently queued beyond ``max_queue``.  Under sustained overload the
+queue depth is therefore a hard constant, latency for admitted requests
+stays bounded, and excess load is pushed back to clients, which is the
+behavior that survives traffic spikes (shed-don't-queue).
+
+Per-request deadlines derive from :class:`repro.resilience.Deadline` at
+admission time (``timeout_ms`` on the request, else the service default),
+so time spent *waiting in the queue* counts against the budget — a
+request that waited its whole budget is cancelled, not started late.
+
+Instrumentation (:mod:`repro.obs`): ``service.queue_depth`` gauge,
+``service.admitted`` / ``service.shed`` / ``service.closed_rejections``
+counters, and the ``service.admission_latency_seconds`` histogram
+(admission → worker pickup).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+from repro import obs
+from repro.obs.registry import TIME_BUCKETS
+from repro.resilience.deadline import Deadline
+from repro.service.errors import Overloaded, ServiceClosed
+from repro.utils.validation import require
+
+
+class Ticket:
+    """One admitted request: payload + deadline + a completable future."""
+
+    __slots__ = (
+        "request", "deadline", "admitted_at", "started_at", "_event",
+        "_response",
+    )
+
+    def __init__(self, request, deadline: Deadline | None):
+        self.request = request
+        self.deadline = deadline
+        self.admitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self._event = threading.Event()
+        self._response = None
+
+    def resolve(self, response) -> None:
+        """Complete the ticket (exactly once; later calls are ignored)."""
+        if not self._event.is_set():
+            self._response = response
+            self._event.set()
+
+    def wait(self, timeout: float | None = None):
+        """Block until the response is ready; ``None`` on timeout."""
+        if not self._event.wait(timeout):
+            return None
+        return self._response
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class AdmissionController:
+    """Bounded FIFO admission with load shedding and drain support.
+
+    Parameters
+    ----------
+    max_queue:
+        Requests allowed to *wait* (beyond the ones workers are already
+        executing).  Admission attempt number ``max_queue + 1`` sheds.
+    max_concurrency:
+        Worker count — only used to scale the retry-after estimate.
+    default_timeout_ms:
+        Deadline applied to requests that do not carry their own
+        ``timeout_ms``; ``None`` means no implicit deadline.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 16,
+        max_concurrency: int = 2,
+        default_timeout_ms: float | None = None,
+    ):
+        require(int(max_queue) >= 1, f"max_queue must be >= 1, got {max_queue}")
+        require(
+            int(max_concurrency) >= 1,
+            f"max_concurrency must be >= 1, got {max_concurrency}",
+        )
+        self.max_queue = int(max_queue)
+        self.max_concurrency = int(max_concurrency)
+        self.default_timeout_ms = default_timeout_ms
+        self._queue: collections.deque[Ticket] = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: EMA of per-request service seconds, feeding the retry-after hint.
+        self._service_ema = 0.05
+        # Counters (exposed via stats(); obs mirrors them live).
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def admit(self, request, *, timeout_ms: float | None = None) -> Ticket:
+        """Admit ``request`` or raise :class:`Overloaded`/:class:`ServiceClosed`.
+
+        ``timeout_ms`` overrides the controller default for this request.
+        """
+        effective_ms = (
+            timeout_ms if timeout_ms is not None else self.default_timeout_ms
+        )
+        deadline = (
+            None if effective_ms is None
+            else Deadline.from_timeout_ms(effective_ms)
+        )
+        with self._cond:
+            if self._closed:
+                obs.counter("service.closed_rejections")
+                raise ServiceClosed("service is draining; not admitting")
+            if len(self._queue) >= self.max_queue:
+                self.shed += 1
+                obs.counter("service.shed")
+                raise Overloaded(
+                    f"queue full ({len(self._queue)}/{self.max_queue} "
+                    f"waiting); shedding instead of queueing",
+                    retry_after_s=self._retry_after_locked(),
+                )
+            ticket = Ticket(request, deadline)
+            self._queue.append(ticket)
+            self.admitted += 1
+            obs.counter("service.admitted")
+            obs.gauge("service.queue_depth", len(self._queue))
+            self._cond.notify()
+            return ticket
+
+    def _retry_after_locked(self) -> float:
+        """Expected time until a queue slot frees up (rough, honest)."""
+        backlog = len(self._queue) + self.max_concurrency
+        return max(0.05, backlog * self._service_ema / self.max_concurrency)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def next(self, poll_s: float = 0.1) -> Ticket | None:
+        """Block for the next ticket; ``None`` once closed and drained."""
+        with self._cond:
+            while True:
+                if self._queue:
+                    ticket = self._queue.popleft()
+                    obs.gauge("service.queue_depth", len(self._queue))
+                    break
+                if self._closed:
+                    return None
+                self._cond.wait(poll_s)
+        ticket.started_at = time.monotonic()
+        obs.histogram(
+            "service.admission_latency_seconds",
+            ticket.started_at - ticket.admitted_at,
+            buckets=TIME_BUCKETS,
+        )
+        return ticket
+
+    def note_completion(self, service_seconds: float) -> None:
+        """Feed one finished request's duration into the retry-after EMA."""
+        with self._cond:
+            self.completed += 1
+            self._service_ema += 0.2 * (service_seconds - self._service_ema)
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; queued tickets remain for workers to finish."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def cancel_pending(self, make_response) -> int:
+        """Resolve every still-queued ticket with ``make_response(ticket)``;
+        returns the count.  Used by drain once the grace period runs out."""
+        with self._cond:
+            pending = list(self._queue)
+            self._queue.clear()
+            obs.gauge("service.queue_depth", 0)
+        for ticket in pending:
+            self.cancelled += 1
+            ticket.resolve(make_response(ticket))
+        return len(pending)
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "queue_depth": len(self._queue),
+                "max_queue": self.max_queue,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "completed": self.completed,
+                "cancelled": self.cancelled,
+                "closed": self._closed,
+                "service_seconds_ema": self._service_ema,
+            }

@@ -1,0 +1,77 @@
+"""Per-query fault isolation: journal the crash, answer typed, move on.
+
+A query that raises must cost exactly one response — not a worker thread,
+not the process.  The worker catches everything, hands the exception
+here, and answers the client with a typed
+:class:`~repro.service.errors.QueryFailed`.  The journal captures enough
+to replay the failure offline: the request as admitted (op, θ, k,
+relevance parameters, seed), the exception, and the full traceback —
+appended as one JSON line per crash so the log is greppable and
+tail-able.
+
+Writes are append-only under a lock (atomic enough for a single process;
+the service owns its crash log).  With no path configured the journal
+still counts crashes (``service.crashes``) and keeps the last few entries
+in memory for ``stats``-style introspection.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+import traceback
+from pathlib import Path
+
+from repro import obs
+
+
+class CrashJournal:
+    """Append-only crash log with an in-memory tail."""
+
+    def __init__(self, path: str | Path | None = None, *, keep_last: int = 16):
+        self.path = None if path is None else Path(path)
+        self._lock = threading.Lock()
+        self._tail: collections.deque[dict] = collections.deque(maxlen=keep_last)
+        self.crashes = 0
+
+    def record(self, request, error: BaseException) -> dict:
+        """Journal one crash; returns the entry that was written."""
+        entry = {
+            "ts": time.time(),
+            "request": self._describe_request(request),
+            "exception_type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exception(
+                type(error), error, error.__traceback__
+            ),
+        }
+        with self._lock:
+            self.crashes += 1
+            self._tail.append(entry)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry) + "\n")
+        obs.counter("service.crashes")
+        return entry
+
+    @staticmethod
+    def _describe_request(request) -> dict:
+        """Replayable request description: repr plus the seed if carried."""
+        described = {"repr": repr(request)}
+        seed = getattr(request, "seed", None)
+        if seed is not None:
+            described["seed"] = seed
+        return described
+
+    def last(self) -> dict | None:
+        with self._lock:
+            return self._tail[-1] if self._tail else None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "crashes": self.crashes,
+                "path": None if self.path is None else str(self.path),
+            }

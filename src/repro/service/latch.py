@@ -1,0 +1,63 @@
+"""A writer-preferring read-write latch for the hot index swap.
+
+Queries hold the read side for their whole execution; a reload takes the
+write side only for the pointer swap itself (validation happens outside
+the latch).  Writer preference keeps a steady query stream from starving
+a pending swap: once a writer is waiting, new readers queue behind it.
+
+Pure ``threading.Condition`` — no external dependencies, no fairness
+guarantees beyond the writer gate, which is all the service needs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+
+class ReadWriteLatch:
+    """Many concurrent readers XOR one writer."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteLatch(readers={self._readers}, "
+            f"writer={self._writer_active}, "
+            f"waiting={self._writers_waiting})"
+        )

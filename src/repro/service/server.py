@@ -1,0 +1,474 @@
+"""The long-lived concurrent query service.
+
+:class:`QueryService` turns the in-process trio —
+:func:`repro.open_database` / :func:`repro.load_index` /
+:meth:`NBIndex.query <repro.index.NBIndex.query>` — into a serving
+boundary that survives overload, poisoned queries and index swaps:
+
+* **admission control** (:mod:`repro.service.admission`): a bounded queue
+  with ``max_concurrency`` worker threads; excess load is shed with a
+  typed ``overloaded`` rejection and a retry-after hint, never queued
+  unboundedly.  Per-request deadlines derive from
+  :class:`repro.resilience.Deadline` at admission, so queue wait counts
+  against the budget.
+* **circuit breaking** (:mod:`repro.service.breaker`): repeated failures
+  or deadline degradations open the breaker; while open, queries are
+  served *bound-only* (an expired deadline drives every exact edit
+  distance down the degradation ladder) instead of waiting on a wedged
+  backend, and a half-open probe closes it once the backend recovers.
+* **hot index reload** (:mod:`repro.service.reload`): a watcher thread
+  fingerprints the index artifact and atomically swaps a validated
+  replacement under a read-write latch; corrupt candidates are rolled
+  back with the previous index still serving.
+* **fault isolation** (:mod:`repro.service.crashlog`): a query that
+  raises is journaled (request + seed + traceback) and answered with a
+  typed ``query_failed``; the worker thread survives.
+* **graceful drain**: :meth:`QueryService.drain` stops admission,
+  finishes or deadline-cancels queued work within the grace period, and
+  flushes :mod:`repro.obs` metrics.
+
+Transports (:func:`serve_lines` for stdin/stdout pipes,
+:func:`serve_tcp` for sockets) speak the line-JSON protocol of
+:mod:`repro.service.protocol`; both are thin shells over the same
+service object, which is equally usable in-process (see
+``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.graphs import quartile_relevance
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
+from repro.service import protocol
+from repro.service.admission import AdmissionController, Ticket
+from repro.service.breaker import BOUND_ONLY, PROBE, BreakerConfig, CircuitBreaker
+from repro.service.crashlog import CrashJournal
+from repro.service.errors import (
+    DeadlineExpired,
+    InvalidRequest,
+    Overloaded,
+    QueryFailed,
+    ServiceError,
+)
+from repro.service.protocol import QueryRequest
+from repro.service.reload import IndexManager
+from repro.utils.validation import require
+
+
+@dataclass
+class ServiceConfig:
+    """Service tuning knobs (see ``docs/service.md`` for guidance)."""
+
+    max_concurrency: int = 2
+    max_queue: int = 16
+    default_timeout_ms: float | None = None
+    drain_grace_s: float = 5.0
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    crash_log: str | None = None
+    watch: str | None = None
+    reload_poll_s: float = 1.0
+    max_request_bytes: int = protocol.MAX_REQUEST_BYTES
+    metrics_path: str | None = None
+
+    def __post_init__(self):
+        require(self.max_concurrency >= 1, "max_concurrency must be >= 1")
+        require(self.max_queue >= 1, "max_queue must be >= 1")
+        require(self.drain_grace_s >= 0.0, "drain_grace_s must be >= 0")
+        require(self.reload_poll_s > 0.0, "reload_poll_s must be > 0")
+
+
+class QueryService:
+    """A running query service over one (hot-swappable) NB-Index."""
+
+    def __init__(self, index, *, config: ServiceConfig | None = None,
+                 distance=None, workers: int | None = None):
+        self.config = config or ServiceConfig()
+        self.manager = IndexManager(
+            index, distance=distance, watch_path=self.config.watch,
+            workers=workers,
+        )
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            max_concurrency=self.config.max_concurrency,
+            default_timeout_ms=self.config.default_timeout_ms,
+        )
+        self.breaker = CircuitBreaker(self.config.breaker)
+        self.journal = CrashJournal(self.config.crash_log)
+        self._threads: list[threading.Thread] = []
+        self._stop_watcher = threading.Event()
+        self._started = False
+        self._drained = False
+        self.started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        database_path,
+        *,
+        index_path=None,
+        distance=None,
+        config: ServiceConfig | None = None,
+        workers: int | None = None,
+        **build_kwargs,
+    ) -> "QueryService":
+        """The CLI path: open the database, load or build the index.
+
+        With ``index_path`` the artifact is loaded through the typed
+        loaders (and becomes the default hot-reload watch target); without
+        it the index is built in-process with ``build_kwargs``.
+        """
+        import repro
+
+        database = repro.open_database(database_path)
+        if distance is None:
+            distance = repro.StarDistance()
+        if config is None:
+            config = ServiceConfig()
+        if index_path is not None:
+            index = repro.load_index(
+                index_path, database, distance, workers=workers
+            )
+            if config.watch is None:
+                config.watch = str(index_path)
+        else:
+            index = repro.NBIndex.build(
+                database, distance, workers=workers, **build_kwargs
+            )
+        return cls(index, config=config, distance=distance, workers=workers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Spawn the worker threads (and the reload watcher, if any)."""
+        require(not self._started, "service already started")
+        self._started = True
+        for worker_id in range(self.config.max_concurrency):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{worker_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.manager.watch_path is not None:
+            watcher = threading.Thread(
+                target=self._watch_loop, name="repro-serve-watch", daemon=True,
+            )
+            watcher.start()
+            self._threads.append(watcher)
+        obs.counter("service.starts")
+        return self
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+    def drain(self, grace_s: float | None = None) -> dict:
+        """Graceful shutdown: stop admitting, finish in-flight work within
+        the grace period, cancel the rest, flush metrics.
+
+        Returns a report: ``{"clean": bool, "cancelled": int,
+        "completed": int, "grace_s": float}``.  Idempotent.
+        """
+        if self._drained:
+            return {"clean": True, "cancelled": 0,
+                    "completed": self.admission.completed, "grace_s": 0.0}
+        self._drained = True
+        grace = self.config.drain_grace_s if grace_s is None else float(grace_s)
+        give_up_at = time.monotonic() + grace
+        self._stop_watcher.set()
+        self.admission.close()
+        for thread in self._threads:
+            thread.join(max(0.0, give_up_at - time.monotonic()))
+        cancelled = self.admission.cancel_pending(
+            lambda ticket: protocol.error_response(
+                getattr(ticket.request, "id", None),
+                Overloaded("service draining; request cancelled",
+                           retry_after_s=grace),
+            )
+        )
+        clean = not any(thread.is_alive() for thread in self._threads)
+        engine = getattr(self.manager.index, "engine", None)
+        if engine is not None and hasattr(engine, "invalidate_pool"):
+            engine.invalidate_pool()
+        obs.counter("service.drains")
+        obs.gauge("service.queue_depth", 0)
+        if self.config.metrics_path and obs.enabled():
+            obs.write_metrics(self.config.metrics_path)
+        return {
+            "clean": clean,
+            "cancelled": cancelled,
+            "completed": self.admission.completed,
+            "grace_s": grace,
+        }
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest) -> Ticket:
+        """Admit one request; raises ``Overloaded``/``ServiceClosed``."""
+        require(self._started, "service not started (call start())")
+        return self.admission.admit(request, timeout_ms=request.timeout_ms)
+
+    def call(self, request: QueryRequest, timeout: float | None = None) -> dict:
+        """Submit and wait; rejections come back as typed responses too."""
+        try:
+            ticket = self.submit(request)
+        except ServiceError as error:
+            return protocol.error_response(request.id, error)
+        response = ticket.wait(timeout)
+        if response is None:
+            return protocol.error_response(
+                request.id,
+                Overloaded("timed out waiting for a worker",
+                           retry_after_s=1.0),
+            )
+        return response
+
+    def stats(self) -> dict:
+        """Statable protocol: one dict over every service component."""
+        index = self.manager.index
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
+            "reload": self.manager.stats(),
+            "crashes": self.journal.stats(),
+            "index": {
+                "num_graphs": len(self.manager.database),
+                "tree_nodes": index.tree.num_nodes,
+                "generation": self.manager.generation,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self.admission.next()
+            if ticket is None:
+                return
+            started = time.monotonic()
+            request = ticket.request
+            try:
+                response = self._execute(ticket)
+            except ServiceError as error:
+                response = protocol.error_response(request.id, error)
+            except Exception as error:
+                # Fault isolation: the query dies, the worker does not.
+                self.journal.record(request, error)
+                response = protocol.error_response(
+                    request.id,
+                    QueryFailed(
+                        f"query raised {type(error).__name__}: {error}",
+                        exception_type=type(error).__name__,
+                    ),
+                )
+            self.admission.note_completion(time.monotonic() - started)
+            ticket.resolve(response)
+
+    def _execute(self, ticket: Ticket) -> dict:
+        request = ticket.request
+        if ticket.deadline is not None and ticket.deadline.expired():
+            obs.counter("service.deadline_expired")
+            raise DeadlineExpired(
+                "deadline expired while queued; not starting late"
+            )
+        if request.op == "ping":
+            return protocol.ok_response(
+                request.id,
+                {"pong": True, "generation": self.manager.generation},
+            )
+        if request.op == "stats":
+            return protocol.ok_response(request.id, self.stats())
+        if request.op == "reload":
+            path = request.path or self.manager.watch_path
+            if path is None:
+                raise InvalidRequest(
+                    "reload needs a 'path' (no watch path configured)"
+                )
+            generation = self.manager.reload(path)  # ReloadFailed is typed
+            return protocol.ok_response(request.id, {"generation": generation})
+        return self._execute_query(ticket)
+
+    def _execute_query(self, ticket: Ticket) -> dict:
+        request = ticket.request
+        faults.maybe_slow("service.query")  # chaos-test hook site
+        mode = self.breaker.admit()
+        bound_only = mode == BOUND_ONLY
+        # Breaker open: an already-expired budget sends every exact edit
+        # distance straight to its polynomial upper bound — the query
+        # answers fast and flagged instead of stalling the queue.
+        deadline = Deadline(0.0) if bound_only else ticket.deadline
+        try:
+            with self.manager.acquire() as index:
+                if request.dims is not None:
+                    num_features = index.database.num_features
+                    if any(not 0 <= d < num_features for d in request.dims):
+                        raise InvalidRequest(
+                            f"dims must be in [0, {num_features}); "
+                            f"got {list(request.dims)}"
+                        )
+                query_fn = quartile_relevance(
+                    index.database, dims=request.dims,
+                    quantile=request.quantile,
+                )
+                with obs.timer("service.query_seconds"):
+                    result = index.query(
+                        query_fn, request.theta, request.k, deadline=deadline
+                    )
+                generation = self.manager.generation
+        except ServiceError:
+            raise  # client errors are not backend health signals
+        except Exception:
+            if not bound_only:
+                self.breaker.record_failure(probe=mode == PROBE)
+            raise
+        if not bound_only:
+            self.breaker.record_success(
+                degraded=result.stats.degraded, probe=mode == PROBE
+            )
+        obs.counter("service.queries")
+        return protocol.ok_response(request.id, {
+            "answer": [int(g) for g in result.answer],
+            "gains": [int(g) for g in result.gains],
+            "pi": float(result.pi),
+            "num_relevant": int(result.num_relevant),
+            "theta": float(result.theta),
+            "degraded": bool(result.stats.degraded),
+            "degradations": dict(result.stats.degradations),
+            "bound_only": bound_only,
+            "generation": generation,
+        })
+
+    def _watch_loop(self) -> None:
+        while not self._stop_watcher.wait(self.config.reload_poll_s):
+            try:
+                self.manager.maybe_reload()
+            except Exception:  # pragma: no cover - watcher must survive
+                obs.counter("service.watch_errors")
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(workers={self.config.max_concurrency}, "
+            f"queue={self.admission.depth}/{self.config.max_queue}, "
+            f"breaker={self.breaker.state}, "
+            f"generation={self.manager.generation})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+_EOF = object()
+
+
+def _best_effort_id(line: str):
+    """Pull the request id out of a line that failed validation."""
+    try:
+        payload = json.loads(line)
+        return payload.get("id") if isinstance(payload, dict) else None
+    except (json.JSONDecodeError, ValueError):
+        return None
+
+
+def serve_lines(service: QueryService, in_stream, out_stream) -> dict:
+    """Pump the line protocol between two streams until EOF, then drain.
+
+    Requests are pipelined into the service as they arrive; responses are
+    written in *request order* (a writer thread waits on each ticket in
+    FIFO order), so the output is deterministic for scripted clients.
+    Admission rejections and parse errors slot into the same FIFO.
+    """
+    pending: queue.Queue = queue.Queue()
+    out_lock = threading.Lock()
+
+    def _writer() -> None:
+        while True:
+            item = pending.get()
+            if item is _EOF:
+                return
+            response = item if isinstance(item, dict) else item.wait()
+            with out_lock:
+                out_stream.write(protocol.encode(response) + "\n")
+                out_stream.flush()
+
+    writer = threading.Thread(target=_writer, name="repro-serve-out", daemon=True)
+    writer.start()
+    served = 0
+    for line in in_stream:
+        if not line.strip():
+            continue
+        served += 1
+        try:
+            request = protocol.parse_request(
+                line, max_bytes=service.config.max_request_bytes
+            )
+            pending.put(service.submit(request))
+        except ServiceError as error:
+            pending.put(protocol.error_response(_best_effort_id(line), error))
+    pending.put(_EOF)
+    writer.join()
+    report = service.drain()
+    report["served"] = served
+    return report
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One TCP connection: sequential request/response over the socket.
+
+    Concurrency comes from multiple connections (the server is
+    threading); within one connection, ordering is the protocol.
+    """
+
+    def handle(self) -> None:
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            try:
+                request = protocol.parse_request(
+                    line, max_bytes=service.config.max_request_bytes
+                )
+                response = service.call(request)
+            except ServiceError as error:
+                response = protocol.error_response(
+                    _best_effort_id(line), error
+                )
+            try:
+                self.wfile.write((protocol.encode(response) + "\n").encode())
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _ServiceTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_tcp(service: QueryService, host: str = "127.0.0.1", port: int = 0):
+    """Bind a threading TCP server speaking the line protocol.
+
+    Returns the server (its ``server_address`` has the bound port when
+    ``port=0``); run ``serve_forever()`` on it — typically in a thread —
+    and ``shutdown()`` + ``service.drain()`` to stop.
+    """
+    server = _ServiceTCPServer((host, port), _LineHandler)
+    server.service = service  # type: ignore[attr-defined]
+    return server

@@ -238,6 +238,54 @@ class TestResilienceFlags:
         assert "pi(A) =" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_stdin_round_trip(self, db_path, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        import sys
+
+        index_path = tmp_path / "index.npz"
+        assert main([
+            "build-index", str(db_path), "--output", str(index_path),
+            "--vantage-points", "4", "--branching", "3",
+        ]) == 0
+        requests = "\n".join([
+            json.dumps({"id": 1, "theta": 8.0, "k": 2}),
+            json.dumps({"id": 2, "op": "ping"}),
+            "garbage",
+        ]) + "\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(requests))
+        metrics_path = tmp_path / "serve.metrics.json"
+        assert main([
+            "serve", str(db_path), "--index", str(index_path),
+            "--deadline-ms", "60000", "--metrics", str(metrics_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(ln) for ln in captured.out.splitlines()
+                     if ln.strip().startswith("{")]
+        assert [r["id"] for r in responses] == [1, 2, None]
+        assert responses[0]["ok"] and responses[0]["result"]["answer"]
+        assert responses[1]["result"]["pong"] is True
+        assert responses[2]["error"]["code"] == "invalid_request"
+        assert "drained" in captured.err
+        document = json.loads(metrics_path.read_text())
+        assert document["metrics"]["counters"]["service.admitted"] == 2
+
+    def test_serve_without_index_builds_inline(self, db_path, monkeypatch, capsys):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(json.dumps({"id": 1, "op": "stats"}) + "\n"),
+        )
+        assert main(["serve", str(db_path), "--concurrency", "1"]) == 0
+        out = capsys.readouterr().out
+        response = json.loads(out.splitlines()[0])
+        assert response["result"]["index"]["num_graphs"] == 60
+
+
 class TestModuleEntryPoint:
     def test_python_m_repro(self):
         import subprocess

@@ -417,3 +417,95 @@ def test_insert_invalidates_pool_and_stays_correct():
         assert got == expected
     finally:
         index.engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Thread safety of the shared pair cache (the query service runs several
+# worker threads over one engine)
+# ---------------------------------------------------------------------------
+class TestEngineThreadSafety:
+    def _reference(self, db, star, pairs):
+        return {pair: star(db[pair[0]], db[pair[1]]) for pair in pairs}
+
+    def test_concurrent_calls_bit_identical_and_counters_consistent(
+        self, db, star
+    ):
+        import itertools
+        import threading
+
+        pairs = list(itertools.combinations(range(20), 2))
+        expected = self._reference(db, star, pairs)
+        engine = DistanceEngine(star, graphs=db.graphs)
+        errors = []
+        barrier = threading.Barrier(4, timeout=10.0)
+
+        def hammer(offset):
+            barrier.wait()  # maximize overlap on the shared cache
+            try:
+                # Rotate so threads collide on the same keys in different
+                # orders, mixing the single-pair and batch paths.
+                mine = pairs[offset:] + pairs[:offset]
+                for i, j in mine:
+                    assert engine(i, j) == expected[(i, j)]
+                row = engine.one_to_many(0, [j for _, j in mine[:15]])
+                for value, (_, j) in zip(row, mine[:15]):
+                    assert value == expected[tuple(sorted((0, j)))] if 0 != j else True
+                got = engine.pairs(mine[:25])
+                for value, pair in zip(got, mine[:25]):
+                    assert value == expected[pair]
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(k * 37,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not errors, errors
+        assert not any(t.is_alive() for t in threads)
+
+        # Every cached value is exactly the serial metric's value.
+        for (i, j), value in expected.items():
+            assert engine(i, j) == value
+        # Counter consistency: total lookups add up, and evaluations can
+        # only exceed the distinct-pair count by benign duplicate misses
+        # (two threads racing the same key), never undercount it.
+        stats = engine.stats()
+        assert stats["cache_size"] == len(expected)
+        assert stats["evaluations"] >= len(expected)
+        assert stats["cache_hits"] + stats["evaluations"] > 0
+
+    def test_concurrent_within_prefilter(self, db, star):
+        import threading
+
+        engine = DistanceEngine(star, graphs=db.graphs)
+        vps = select_vantage_points(
+            db.graphs, 4, np.random.default_rng(5), strategy="random"
+        )
+        embedding = VantageEmbedding(db.graphs, vps, star)
+        engine.attach_embedding(embedding)
+        candidates = list(range(len(db)))
+        expected = engine.within(0, candidates, 5.0)
+        fresh = DistanceEngine(star, graphs=db.graphs)
+        fresh.attach_embedding(embedding)
+        results = [None] * 4
+        errors = []
+
+        def worker(slot):
+            try:
+                results[slot] = fresh.within(0, candidates, 5.0)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not errors, errors
+        for result in results:
+            np.testing.assert_array_equal(result, expected)

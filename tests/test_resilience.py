@@ -9,6 +9,8 @@ import multiprocessing
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.engine import DistanceEngine
@@ -119,6 +121,60 @@ class TestDeadline:
                 assert current_deadline() is inner
             assert current_deadline() is outer
         assert current_deadline() is None
+
+    def test_scope_is_thread_local(self):
+        """Service worker threads must not see each other's ambient
+        deadlines — the stack is per-thread."""
+        import threading
+
+        outer = Deadline(60.0)
+        seen = []
+
+        def probe():
+            seen.append(current_deadline())
+
+        with deadline_scope(outer):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(5.0)
+            assert current_deadline() is outer
+        assert seen == [None]
+
+
+class TestDeadlineProperties:
+    """Property tests for the budget arithmetic: ``remaining()`` is never
+    negative no matter how stale the deadline, and ``from_timeout_ms``
+    agrees with the seconds constructor."""
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_remaining_never_negative(self, seconds):
+        deadline = Deadline(seconds)
+        assert deadline.remaining() >= 0.0
+        # An already-expired deadline clamps instead of going negative.
+        expired = Deadline(0.0)
+        assert expired.expired()
+        assert expired.remaining() == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_from_timeout_ms_matches_seconds(self, milliseconds):
+        deadline = Deadline.from_timeout_ms(milliseconds)
+        assert deadline.seconds == pytest.approx(milliseconds / 1000.0)
+        assert Deadline.after_ms(milliseconds).seconds == deadline.seconds
+
+    @given(st.floats(max_value=-1e-9, min_value=-1e6, allow_nan=False))
+    def test_from_timeout_ms_rejects_negative(self, milliseconds):
+        with pytest.raises(ValueError):
+            Deadline.from_timeout_ms(milliseconds)
+
+    @given(st.floats(min_value=0.0, max_value=0.05, allow_nan=False))
+    def test_expired_iff_remaining_exhausted(self, seconds):
+        deadline = Deadline(seconds)
+        # Whatever the timing, the two views of the budget must agree.
+        for _ in range(3):
+            if deadline.expired():
+                assert deadline.remaining() == 0.0
+            else:
+                assert deadline.remaining() >= 0.0
 
 
 class TestRetryPolicy:
@@ -498,12 +554,32 @@ class TestPersistenceIntegrity:
         with pytest.raises(IndexFormatError, match="99"):
             load_index(future, db, dist)
 
-    def test_legacy_bare_npz_still_loads(self, saved, tmp_path):
+    def test_legacy_bare_npz_still_loads(self, saved, tmp_path, monkeypatch):
         db, dist, index, path = saved
         legacy = tmp_path / "legacy.npz"
         legacy.write_bytes(read_checksummed(path))
-        loaded = load_index(legacy, db, dist)
+        monkeypatch.setattr(persistence, "_legacy_warned", False)
+        with pytest.warns(DeprecationWarning, match="legacy bare-.npz"):
+            loaded = load_index(legacy, db, dist)
         assert np.array_equal(loaded.embedding.coords, index.embedding.coords)
+
+    def test_legacy_npz_warns_once_but_counts_every_load(
+        self, saved, tmp_path, monkeypatch
+    ):
+        import warnings
+
+        db, dist, _, path = saved
+        legacy = tmp_path / "legacy.npz"
+        legacy.write_bytes(read_checksummed(path))
+        monkeypatch.setattr(persistence, "_legacy_warned", False)
+        with obs.observe() as run:
+            with pytest.warns(DeprecationWarning):
+                load_index(legacy, db, dist)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second load must be silent
+                load_index(legacy, db, dist)
+            counters = run.stats()["counters"]
+        assert counters["persistence.legacy_npz_loads"] == 2
 
     def test_exception_hierarchy_is_valueerror(self):
         for exc in (CorruptIndexError, IndexFormatError,
