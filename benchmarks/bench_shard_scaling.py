@@ -1,0 +1,193 @@
+"""Shard scaling benchmark: build + query cost vs shard count.
+
+Sweeps shard counts over both partitioners and measures, per configuration:
+
+* **build** — total bundle build time and the *slowest single shard*
+  (the wall-clock a parallel S-worker build would take, since shard
+  builds are independent);
+* **query** — coordinator latency (min of repeats) against the
+  single-index reference, plus the coordinator-overhead counters that
+  explain it: pulls, π̂ refinements, scatter resolves, broadcasts,
+  foreign embeddings and total distance calls;
+* **identity** — every sharded answer is checked bit-for-bit (ids,
+  gains, ordering, coverage) against the single index; a benchmark row
+  with ``identical: false`` is a correctness bug, not a slow run.
+
+Runnable standalone (``python benchmarks/bench_shard_scaling.py``) or
+under pytest; both write ``BENCH_shard_scaling.json`` at the repository
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import DistanceEngine
+from repro.ged.star import StarDistance
+from repro.graphs import quartile_relevance
+from repro.index.nbindex import NBIndex
+from repro.index.pivec import choose_thresholds
+from repro.shard import ShardedIndex, build_shards
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
+
+BUILD = dict(num_vantage_points=10, branching=8)
+
+
+def _identical(got, want) -> bool:
+    return (
+        got.answer == want.answer
+        and got.gains == want.gains
+        and got.covered == want.covered
+    )
+
+
+def _time_query(index, query_fn, theta, k, repeats):
+    """Min-of-repeats latency plus the last run's result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = index.query(query_fn, theta, k)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def shard_scaling_benchmark(
+    num_graphs: int = 120,
+    seed: int = 11,
+    k: int = 8,
+    shard_counts=(1, 2, 4, 8),
+    partitioners=("hash", "clustering"),
+    repeats: int = 3,
+):
+    from repro.datasets import GENERATORS
+
+    db = GENERATORS["dud"](num_graphs=num_graphs, seed=seed)
+    distance = StarDistance()
+    engine = DistanceEngine(distance, graphs=db.graphs)
+    # One global ladder for every configuration, so all indexes answer the
+    # same rungs and theta choice cannot favor a row.
+    ladder = choose_thresholds(
+        db.graphs, engine, count=10, num_pairs=min(1000, num_graphs * 4),
+        rng=np.random.default_rng(seed), engine=engine,
+    )
+    thetas = (ladder.values[3], ladder.values[6])
+    query_fn = quartile_relevance(db)
+
+    build_started = time.perf_counter()
+    single = NBIndex.build(
+        db, distance, thresholds=ladder, seed=seed, **BUILD
+    )
+    single_build_s = time.perf_counter() - build_started
+    reference = {}
+    for theta in thetas:
+        seconds, result = _time_query(single, query_fn, theta, k, repeats)
+        reference[theta] = {
+            "result": result,
+            "query_ms": seconds * 1e3,
+            "distance_calls": result.stats.distance_calls,
+        }
+
+    rows = []
+    for partitioner in partitioners:
+        for num_shards in shard_counts:
+            with tempfile.TemporaryDirectory() as out_dir:
+                build_started = time.perf_counter()
+                manifest_path = build_shards(
+                    db, distance, num_shards=num_shards, out_dir=out_dir,
+                    partitioner=partitioner, thresholds=ladder, seed=seed,
+                    **BUILD,
+                )
+                build_s = time.perf_counter() - build_started
+                sharded = ShardedIndex.load(manifest_path, db, distance)
+                shard_seconds = sharded.manifest.build["shard_seconds"]
+                queries = []
+                for theta in thetas:
+                    seconds, result = _time_query(
+                        sharded, query_fn, theta, k, repeats
+                    )
+                    ref = reference[theta]
+                    coord = result.stats.coordinator
+                    queries.append({
+                        "theta": round(float(theta), 3),
+                        "query_ms": round(seconds * 1e3, 3),
+                        "single_query_ms": round(ref["query_ms"], 3),
+                        "overhead_x": round(
+                            seconds * 1e3 / max(ref["query_ms"], 1e-9), 2
+                        ),
+                        "distance_calls": result.stats.distance_calls,
+                        "single_distance_calls": ref["distance_calls"],
+                        "pulls": coord["pulls"],
+                        "pi_hat_refines": coord["pi_hat_refines"],
+                        "refine_prunes": coord["refine_prunes"],
+                        "scatter_resolves": coord["scatter_resolves"],
+                        "broadcasts": coord["broadcasts"],
+                        "foreign_embeds": coord["foreign_embeds"],
+                        "identical": _identical(result, ref["result"]),
+                    })
+                sharded.invalidate_pools()
+            rows.append({
+                "partitioner": partitioner,
+                "shards": num_shards,
+                "build_s": round(build_s, 3),
+                "max_shard_build_s": round(max(shard_seconds), 3),
+                "parallel_build_speedup": round(
+                    single_build_s / max(max(shard_seconds), 1e-9), 2
+                ),
+                "queries": queries,
+            })
+
+    document = {
+        "benchmark": "shard_scaling",
+        "dataset": f"dud n={num_graphs} seed={seed}",
+        "k": k,
+        "thetas": [round(float(t), 3) for t in thetas],
+        "ladder": [round(float(v), 3) for v in ladder.values],
+        "single_build_s": round(single_build_s, 3),
+        "rows": rows,
+    }
+    _JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+def _print_summary(document):
+    print(f"wrote {_JSON_PATH}")
+    header = (f"{'part':<11}{'S':>3}{'build s':>9}{'max shard s':>12}"
+              f"{'q ms':>8}{'1x ms':>8}{'calls':>7}{'scatter':>8}{'ok':>4}")
+    print(header)
+    for row in document["rows"]:
+        for q in row["queries"]:
+            print(f"{row['partitioner']:<11}{row['shards']:>3}"
+                  f"{row['build_s']:>9.2f}{row['max_shard_build_s']:>12.2f}"
+                  f"{q['query_ms']:>8.1f}{q['single_query_ms']:>8.1f}"
+                  f"{q['distance_calls']:>7}{q['scatter_resolves']:>8}"
+                  f"{'y' if q['identical'] else 'N':>4}")
+
+
+def test_shard_scaling():
+    document = shard_scaling_benchmark(
+        num_graphs=60, shard_counts=(1, 2, 4), repeats=2
+    )
+    _print_summary(document)
+    for row in document["rows"]:
+        for q in row["queries"]:
+            assert q["identical"], (row["partitioner"], row["shards"], q)
+
+
+if __name__ == "__main__":
+    outcome = shard_scaling_benchmark()
+    _print_summary(outcome)
+    bad = [
+        (row["partitioner"], row["shards"], q["theta"])
+        for row in outcome["rows"]
+        for q in row["queries"]
+        if not q["identical"]
+    ]
+    if bad:
+        raise SystemExit(f"sharded answers diverged from single index: {bad}")

@@ -35,7 +35,7 @@ from repro.graphs import (
     LabeledGraph,
     quartile_relevance,
 )
-from repro.index import NBIndex, QuerySession
+from repro.index import NBIndex, OffLadderThetaError, QuerySession
 from repro.obs import Statable, observe
 from repro.resilience import BudgetExceeded, Deadline, RetryPolicy, deadline_scope
 
@@ -51,6 +51,9 @@ __all__ = [
     "resolve_workers",
     "NBIndex",
     "QuerySession",
+    "OffLadderThetaError",
+    "ShardedIndex",
+    "build_shards",
     "QueryResult",
     "QueryStats",
     "TopKRepresentativeQuery",
@@ -66,8 +69,12 @@ __all__ = [
     "RetryPolicy",
     "open_database",
     "load_index",
+    "load_shards",
     "__version__",
 ]
+
+# repro.shard builds on repro.index and repro.obs, so it imports last.
+from repro.shard import ShardedIndex, build_shards  # noqa: E402
 
 
 def open_database(path) -> GraphDatabase:
@@ -97,3 +104,19 @@ def load_index(
     if distance is None:
         distance = StarDistance()
     return _load_index(path, database, distance, workers=workers)
+
+
+def load_shards(
+    path,
+    database: GraphDatabase,
+    distance=None,
+    *,
+    workers: int | None = None,
+) -> ShardedIndex:
+    """Load a sharded NB-Index bundle from its manifest (see
+    :mod:`repro.shard`).  The sharded twin of :func:`load_index`; the
+    returned :class:`ShardedIndex` answers ``query()`` bit-identically to
+    a single index over the same database."""
+    if distance is None:
+        distance = StarDistance()
+    return ShardedIndex.load(path, database, distance, workers=workers)

@@ -601,8 +601,9 @@ def ablation_bounds(
             branching=ctx.branching, thresholds=ladder, seed=ctx.seed,
         )
 
-    # A sub-theta ladder leaves every query above it → trivial |L_q| bound.
-    trivial_ladder = ThresholdLadder([1e-6])
+    # A rung far above every distance makes π̂ = |L_q| for all graphs — the
+    # trivial bound — while keeping θ on the ladder (off-ladder θ raises).
+    trivial_ladder = ThresholdLadder([1e18])
     variants = [
         ("full", ctx.ladder, True),
         ("no_updates", ctx.ladder, False),

@@ -5,8 +5,11 @@ Wires the library's main workflows into subcommands::
     repro generate dud --num-graphs 500 --seed 7 --output dud.jsonl
     repro stats dud.jsonl
     repro build-index dud.jsonl --output dud-index.npz
+    repro shard-build dud.jsonl --output dud-shards/ --shards 4
     repro query dud.jsonl --k 10 [--theta 10] [--index dud-index.npz]
+    repro query dud.jsonl --k 10 --shards dud-shards/manifest.json
     repro serve dud.jsonl --index dud-index.npz [--tcp 127.0.0.1:7341]
+    repro serve dud.jsonl --shards dud-shards/manifest.json
     repro experiment fig2a_disc_growth
 
 ``repro experiment`` runs any benchmark driver by name and prints its
@@ -110,6 +113,37 @@ def cmd_build_index(args) -> int:
     return 0
 
 
+def cmd_shard_build(args) -> int:
+    import repro
+    from repro.ged import StarDistance
+    from repro.shard import build_shards
+
+    observation = _start_observation(args)
+    database = repro.open_database(args.database)
+    distance = StarDistance()
+    manifest_path = build_shards(
+        database, distance, num_shards=args.shards, out_dir=args.output,
+        partitioner=args.partitioner,
+        num_vantage_points=args.vantage_points, branching=args.branching,
+        seed=args.seed, workers=args.workers,
+    )
+    # Load the bundle back: a build that cannot be served is a failed build.
+    sharded = repro.load_shards(
+        manifest_path, database, distance, workers=args.workers
+    )
+    stats = sharded.stats()
+    sizes = "/".join(str(s["num_graphs"]) for s in stats["shards"])
+    print(
+        f"wrote {manifest_path}: {stats['num_shards']} shards "
+        f"({sizes} graphs), {stats['tree_nodes']} tree nodes, "
+        f"partitioner={stats['partitioner']}, "
+        f"built in {sharded.manifest.build['total_seconds']:.1f}s"
+    )
+    sharded.invalidate_pools()
+    _finish_observation(observation, args)
+    return 0
+
+
 def cmd_query(args) -> int:
     import repro
     from repro.datasets import calibrate_theta
@@ -117,6 +151,10 @@ def cmd_query(args) -> int:
     from repro.graphs import quartile_relevance
     from repro.index import NBIndex
 
+    if args.shards and (args.index or args.method == "greedy"):
+        print("query: --shards conflicts with --index/--method greedy",
+              file=sys.stderr)
+        return 2
     observation = _start_observation(args)
     database = repro.open_database(args.database)
     distance = StarDistance()
@@ -146,6 +184,12 @@ def cmd_query(args) -> int:
             result = baseline_greedy(
                 database, distance, q, theta, args.k, engine=engine
             )
+        elif args.shards:
+            sharded = repro.load_shards(
+                args.shards, database, distance, workers=args.workers
+            )
+            result = sharded.query(q, theta, args.k)
+            sharded.invalidate_pools()
         else:
             if args.index:
                 index = repro.load_index(
@@ -206,6 +250,7 @@ def cmd_serve(args) -> int:
     service = QueryService.open(
         args.database,
         index_path=args.index,
+        shards_path=args.shards,
         config=config,
         workers=args.workers,
         seed=args.seed,
@@ -381,6 +426,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the counter/span report after the build")
     p.set_defaults(func=cmd_build_index)
 
+    p = subparsers.add_parser(
+        "shard-build",
+        help="partition the database and build one NB-Index per shard",
+    )
+    p.add_argument("database")
+    p.add_argument("--output", required=True, metavar="DIR",
+                   help="bundle directory (manifest.json + shard-NNN.npz)")
+    p.add_argument("--shards", type=int, required=True, metavar="S",
+                   help="number of shards (1..num_graphs)")
+    p.add_argument("--partitioner", choices=("hash", "clustering"),
+                   default="hash",
+                   help="hash: stateless content hash; clustering: "
+                        "farthest-first pivots + nearest-pivot assignment")
+    p.add_argument("--vantage-points", type=int, default=20)
+    p.add_argument("--branching", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="distance-engine processes (default: "
+                        "$REPRO_ENGINE_WORKERS or serial)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a repro.obs metrics document "
+                        "(.prom → Prometheus text, else JSON)")
+    p.add_argument("--trace", action="store_true",
+                   help="print the counter/span report after the build")
+    p.set_defaults(func=cmd_shard_build)
+
     p = subparsers.add_parser("query", help="run a top-k representative query")
     p.add_argument("database")
     p.add_argument("--k", type=int, default=10)
@@ -392,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="feature dims for relevance (default: all)")
     p.add_argument("--method", choices=("nbindex", "greedy"), default="nbindex")
     p.add_argument("--index", default=None, help="prebuilt index (.npz)")
+    p.add_argument("--shards", default=None, metavar="MANIFEST",
+                   help="shard-bundle manifest.json — run the query through "
+                        "the scatter-gather coordinator (bit-identical "
+                        "answers, conflicts with --index)")
     p.add_argument("--vantage-points", type=int, default=20)
     p.add_argument("--branching", type=int, default=8)
     p.add_argument("--seed", type=int, default=7)
@@ -417,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", default=None, metavar="PATH",
                    help="prebuilt index (.npz); also becomes the hot-reload "
                         "watch target unless --watch overrides it")
+    p.add_argument("--shards", default=None, metavar="MANIFEST",
+                   help="shard-bundle manifest.json to serve instead of a "
+                        "single index; also the hot-reload watch target "
+                        "(per-shard reuse on reload) unless --watch is given")
     p.add_argument("--tcp", default=None, metavar="HOST:PORT",
                    help="listen on a TCP socket instead of stdin/stdout "
                         "(use :0 for an ephemeral port)")

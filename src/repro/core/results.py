@@ -39,6 +39,10 @@ class QueryStats:
     degraded: bool = False
     degradation_events: int = 0
     degradations: dict = field(default_factory=dict)
+    #: Sharded-query accounting (scatter-gather coordinator only): pull /
+    #: resolve / broadcast counts plus the per-shard work split.  Empty for
+    #: single-index engines.
+    coordinator: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

@@ -10,6 +10,7 @@ from repro.index.fpr import (
 )
 from repro.index.nbtree import BuildStats, NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds, ladder_from_query_log
+from repro.index.errors import OffLadderThetaError
 from repro.index.nbindex import NBIndex, QueryResult, QuerySession, QueryStats
 from repro.index.persistence import load_index, save_index
 from repro.resilience.errors import (
@@ -38,6 +39,7 @@ __all__ = [
     "choose_thresholds",
     "ladder_from_query_log",
     "NBIndex",
+    "OffLadderThetaError",
     "QuerySession",
     "QueryResult",
     "QueryStats",

@@ -47,6 +47,7 @@ from repro import obs
 from repro.core.results import QueryResult, QueryStats
 from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
+from repro.index.errors import OffLadderThetaError
 from repro.index.nbtree import NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds
 from repro.index.vantage import VantageEmbedding, select_vantage_points
@@ -55,6 +56,9 @@ from repro.utils.validation import require, require_positive
 
 _EPS = 1e-9
 _NEG_INF = float("-inf")
+#: Sentinel "minimum relevant graph id" for subtrees with no relevant
+#: members; larger than any real id, so it loses every tie-break.
+_NO_GID = 2**63 - 1
 
 
 class NBIndex:
@@ -491,6 +495,7 @@ class QuerySession:
         self.relevant_set = frozenset(int(i) for i in self.relevant)
         self._position = {int(g): p for p, g in enumerate(self.relevant)}
         self._node_relevant: dict[int, frozenset[int]] = {}
+        self._node_min_gid: dict[int, int] = {}
         self._collect_relevant(index.tree.root)
         self._pi_hat_columns: dict[int | None, np.ndarray] = {}
         self.init_seconds = time.perf_counter() - started
@@ -509,6 +514,7 @@ class QuerySession:
                 *(self._collect_relevant(child) for child in node.children)
             )
         self._node_relevant[node.node_id] = members
+        self._node_min_gid[node.node_id] = min(members, default=_NO_GID)
         return members
 
     def relevant_in(self, node: NBTreeNode) -> frozenset[int]:
@@ -559,6 +565,13 @@ class QuerySession:
         from repro.resilience.deadline import current_deadline, deadline_scope
 
         index = self.index
+        ladder_index = index.ladder.index_for(theta)
+        if ladder_index is None:
+            # θ above the top rung has no indexed π̂ bound; refusing beats
+            # silently degrading to a linear scan via the trivial |L_q|
+            # bound (sessions may still opt into it via pi_hat_column(None)).
+            obs.counter("index.offladder_theta")
+            raise OffLadderThetaError(theta, index.ladder)
         stats = QueryStats(init_seconds=self.init_seconds)
         calls_before = index._counting.calls
         effective_deadline = deadline if deadline is not None else current_deadline()
@@ -570,7 +583,6 @@ class QuerySession:
         with deadline_scope(deadline), \
                 obs.span("index.query", theta=theta, k=k) as query_span:
             started = time.perf_counter()
-            ladder_index = index.ladder.index_for(theta)
             column = self.pi_hat_column(ladder_index)
             bounds = self._initial_bounds(column)
             stats.init_seconds += time.perf_counter() - started
@@ -703,19 +715,29 @@ class QuerySession:
         best: int | None = None
         best_gain = -1.0
 
+        min_gid = self._node_min_gid
         while heap:
             _, _, pushed_bound, node = heapq.heappop(heap)
             stats.nodes_popped += 1
             # Heap entries are ordered by their bound at push time, which is
             # a valid upper bound on every gain in the subtree.  Once the
             # top of the heap cannot beat the incumbent, nothing below can
-            # (lines 6-7 of Algorithm 2).
-            if best is not None and pushed_bound <= best_gain:
-                break
+            # (lines 6-7 of Algorithm 2).  A subtree that could only *tie*
+            # the incumbent still matters when it holds a smaller graph id —
+            # the canonical selection rule is (max gain, min id), which
+            # makes the answer independent of tree shape and partitioning.
+            if best is not None:
+                if pushed_bound < best_gain:
+                    break
+                if pushed_bound == best_gain and min_gid[node.node_id] > best:
+                    continue
             # The node's own bound may have been tightened by an update
             # since it was pushed; a stale entry is skipped, not terminal.
             current = min(pushed_bound, float(bounds[node.node_id]))
-            if best is not None and current <= best_gain:
+            if best is not None and (
+                current < best_gain
+                or (current == best_gain and min_gid[node.node_id] > best)
+            ):
                 continue
             if node.is_leaf:
                 gid = node.graph_index
@@ -727,7 +749,9 @@ class QuerySession:
                 gain = float(len(neighborhood - covered))
                 bounds[node.node_id] = gain
                 stats.leaves_evaluated += 1
-                if gain > best_gain:
+                if gain > best_gain or (
+                    gain == best_gain and (best is None or gid < best)
+                ):
                     best_gain = gain
                     best = gid
             else:
@@ -737,7 +761,14 @@ class QuerySession:
                     child_bound = min(float(bounds[child.node_id]), current)
                     if child_bound == _NEG_INF:
                         continue
-                    if best is None or child_bound > best_gain:
+                    if (
+                        best is None
+                        or child_bound > best_gain
+                        or (
+                            child_bound == best_gain
+                            and min_gid[child.node_id] < best
+                        )
+                    ):
                         heapq.heappush(
                             heap,
                             (-child_bound, next(counter), child_bound, child),

@@ -95,6 +95,30 @@ class IndexManager:
     # ------------------------------------------------------------------
     # Reload side
     # ------------------------------------------------------------------
+    def _load_candidate(self, path: Path):
+        """Typed loader dispatch: shard-manifest (JSON) or single npz.
+
+        A sharded reload passes the currently serving bundle as
+        ``previous`` so shards whose artifact checksum and member set are
+        unchanged are reused in place — a one-shard rebuild reloads one
+        shard, not S.
+        """
+        if path.suffix == ".json":
+            from repro.shard import ShardedIndex
+
+            previous = (
+                self._index if isinstance(self._index, ShardedIndex) else None
+            )
+            return ShardedIndex.load(
+                path, self._database, self._distance,
+                workers=self._workers, previous=previous,
+            )
+        from repro.index.persistence import load_index
+
+        return load_index(
+            path, self._database, self._distance, workers=self._workers
+        )
+
     def reload(self, path: str | os.PathLike) -> int:
         """Validate the artifact at ``path`` and swap it in.
 
@@ -102,14 +126,10 @@ class IndexManager:
         (with the typed persistence error as ``__cause__``) and keeps the
         current index serving on any validation failure.
         """
-        from repro.index.persistence import load_index
-
         path = Path(path)
         try:
             with obs.timer("service.reload_seconds"):
-                candidate = load_index(
-                    path, self._database, self._distance, workers=self._workers
-                )
+                candidate = self._load_candidate(path)
         except (PersistenceError, OSError) as error:
             self.reload_failures += 1
             obs.counter("service.reload.failed")

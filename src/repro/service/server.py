@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.graphs import quartile_relevance
+from repro.index.errors import OffLadderThetaError
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
 from repro.service import protocol
@@ -117,6 +118,7 @@ class QueryService:
         database_path,
         *,
         index_path=None,
+        shards_path=None,
         distance=None,
         config: ServiceConfig | None = None,
         workers: int | None = None,
@@ -125,17 +127,31 @@ class QueryService:
         """The CLI path: open the database, load or build the index.
 
         With ``index_path`` the artifact is loaded through the typed
-        loaders (and becomes the default hot-reload watch target); without
-        it the index is built in-process with ``build_kwargs``.
+        loaders (and becomes the default hot-reload watch target); with
+        ``shards_path`` a shard-manifest bundle is loaded instead and the
+        service runs the scatter-gather coordinator; without either the
+        index is built in-process with ``build_kwargs``.
         """
         import repro
 
+        require(
+            index_path is None or shards_path is None,
+            "pass index_path or shards_path, not both",
+        )
         database = repro.open_database(database_path)
         if distance is None:
             distance = repro.StarDistance()
         if config is None:
             config = ServiceConfig()
-        if index_path is not None:
+        if shards_path is not None:
+            from repro.shard import ShardedIndex
+
+            index = ShardedIndex.load(
+                shards_path, database, distance, workers=workers
+            )
+            if config.watch is None:
+                config.watch = str(shards_path)
+        elif index_path is not None:
             index = repro.load_index(
                 index_path, database, distance, workers=workers
             )
@@ -201,9 +217,13 @@ class QueryService:
             )
         )
         clean = not any(thread.is_alive() for thread in self._threads)
-        engine = getattr(self.manager.index, "engine", None)
-        if engine is not None and hasattr(engine, "invalidate_pool"):
-            engine.invalidate_pool()
+        index = self.manager.index
+        if hasattr(index, "invalidate_pools"):  # sharded: global + per-shard
+            index.invalidate_pools()
+        else:
+            engine = getattr(index, "engine", None)
+            if engine is not None and hasattr(engine, "invalidate_pool"):
+                engine.invalidate_pool()
         obs.counter("service.drains")
         obs.gauge("service.queue_depth", 0)
         if self.config.metrics_path and obs.enabled():
@@ -241,17 +261,27 @@ class QueryService:
     def stats(self) -> dict:
         """Statable protocol: one dict over every service component."""
         index = self.manager.index
+        # ShardedIndex rolls its tree sizes up; NBIndex exposes the tree.
+        tree_nodes = (
+            index.tree_nodes if hasattr(index, "tree_nodes")
+            else index.tree.num_nodes
+        )
+        index_stats = {
+            "num_graphs": len(self.manager.database),
+            "tree_nodes": tree_nodes,
+            "generation": self.manager.generation,
+        }
+        if hasattr(index, "num_shards"):
+            index_stats["num_shards"] = index.num_shards
+            index_stats["partitioner"] = index.manifest.partitioner
+            index_stats["reused_shards"] = index.reused_shards
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "admission": self.admission.stats(),
             "breaker": self.breaker.stats(),
             "reload": self.manager.stats(),
             "crashes": self.journal.stats(),
-            "index": {
-                "num_graphs": len(self.manager.database),
-                "tree_nodes": index.tree.num_nodes,
-                "generation": self.manager.generation,
-            },
+            "index": index_stats,
         }
 
     # ------------------------------------------------------------------
@@ -332,6 +362,10 @@ class QueryService:
                         query_fn, request.theta, request.k, deadline=deadline
                     )
                 generation = self.manager.generation
+        except OffLadderThetaError as error:
+            # A theta the ladder cannot bound is a client error, not a
+            # backend failure: no breaker hit, no crash journal entry.
+            raise InvalidRequest(str(error)) from error
         except ServiceError:
             raise  # client errors are not backend health signals
         except Exception:

@@ -1,0 +1,148 @@
+"""Build a sharded NB-Index bundle: partition, build per shard, manifest.
+
+Each shard gets a fully independent NB-Index (its own vantage embedding,
+NB-Tree and π̂ columns) over the *sub-database* of its member graphs,
+persisted with the ordinary checksummed
+:func:`~repro.index.persistence.save_index` artifact — a shard file is
+byte-compatible with a single-index file and loads with the same code.
+
+Two things are deliberately global:
+
+* the **threshold ladder** is computed once over the whole database and
+  passed to every shard build, so π̂ bounds of different shards are
+  evaluated at identical rungs and the coordinator's off-ladder check has
+  one answer for the whole bundle;
+* per-shard **build seeds** are spawned from one root
+  :class:`numpy.random.SeedSequence`, so the bundle is a deterministic
+  function of (database, distance, S, partitioner, seed) and shard builds
+  are statistically independent.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.graphs.database import GraphDatabase
+from repro.index.nbindex import NBIndex
+from repro.index.persistence import save_index
+from repro.index.pivec import ThresholdLadder, choose_thresholds
+from repro.shard.manifest import ShardEntry, ShardManifest, database_checksum
+from repro.shard.partition import get_partitioner
+from repro.utils.validation import require
+
+MANIFEST_NAME = "manifest.json"
+
+
+def build_shards(
+    database: GraphDatabase,
+    distance,
+    *,
+    num_shards: int,
+    out_dir: str | Path,
+    partitioner: str = "hash",
+    num_vantage_points: int = 20,
+    branching: int = 8,
+    thresholds: ThresholdLadder | None = None,
+    seed: int = 0,
+    workers: int | None = None,
+) -> Path:
+    """Build S per-shard indexes plus a manifest under ``out_dir``.
+
+    Returns the manifest path.  ``thresholds`` overrides the global ladder
+    (otherwise it is derived from whole-database distance samples exactly
+    as :meth:`NBIndex.build` would); ``workers`` configures the engines
+    used during the build — the artifacts are identical for any count.
+    """
+    require(len(database) > 0, "cannot shard an empty database")
+    require(
+        1 <= num_shards <= len(database),
+        f"num_shards {num_shards} not in 1..{len(database)}",
+    )
+    from repro.engine import DistanceEngine
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    started = time.perf_counter()
+    with obs.span(
+        "shard.build", n=len(database), shards=num_shards,
+        partitioner=partitioner,
+    ) as build_span:
+        engine = DistanceEngine(
+            distance, workers=workers, graphs=database.graphs
+        )
+        if thresholds is None:
+            if len(database) < 2:
+                thresholds = ThresholdLadder([1.0])
+            else:
+                with obs.span("shard.ladder"):
+                    thresholds = choose_thresholds(
+                        database.graphs, engine, count=10,
+                        num_pairs=min(1000, len(database) * 4),
+                        rng=np.random.default_rng(seed), engine=engine,
+                    )
+
+        with obs.span("shard.partition", strategy=partitioner):
+            partition = get_partitioner(partitioner).assign(
+                database, num_shards, seed=seed, engine=engine
+            )
+
+        shard_seeds = np.random.SeedSequence(seed).spawn(num_shards)
+        entries: list[ShardEntry] = []
+        shard_build_seconds: list[float] = []
+        for shard_id in range(num_shards):
+            members = partition.members(shard_id)
+            sub = database.subset([int(i) for i in members])
+            with obs.span(
+                "shard.build_one", shard=shard_id, n=len(sub)
+            ), obs.timer("shard.build_one_seconds"):
+                shard_started = time.perf_counter()
+                index = NBIndex.build(
+                    sub, distance,
+                    num_vantage_points=min(num_vantage_points, len(sub)),
+                    branching=branching,
+                    thresholds=thresholds,
+                    seed=np.random.default_rng(shard_seeds[shard_id]),
+                    workers=workers,
+                )
+                shard_build_seconds.append(time.perf_counter() - shard_started)
+            artifact = out_dir / f"shard-{shard_id:03d}.npz"
+            save_index(index, artifact)
+            if index.engine is not None:
+                index.engine.invalidate_pool()
+            entries.append(
+                ShardEntry(
+                    shard_id=shard_id,
+                    path=artifact.name,
+                    checksum=zlib.crc32(artifact.read_bytes()),
+                    num_graphs=len(sub),
+                )
+            )
+            obs.counter("shard.builds")
+
+        manifest = ShardManifest(
+            num_shards=num_shards,
+            num_graphs=len(database),
+            partitioner=partitioner,
+            seed=seed,
+            ladder=tuple(thresholds.values),
+            assignments=partition.assignments,
+            database_checksum=database_checksum(database),
+            shards=tuple(entries),
+            build={
+                "num_vantage_points": num_vantage_points,
+                "branching": branching,
+                "shard_seconds": [round(s, 6) for s in shard_build_seconds],
+                "total_seconds": round(time.perf_counter() - started, 6),
+            },
+        )
+        manifest_path = out_dir / MANIFEST_NAME
+        manifest.save(manifest_path)
+        build_span.set(seconds=round(time.perf_counter() - started, 3))
+        engine.invalidate_pool()
+    obs.observe_time("shard.build_seconds", time.perf_counter() - started)
+    return manifest_path

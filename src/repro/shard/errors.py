@@ -1,0 +1,23 @@
+"""Typed errors for the sharded index layer.
+
+:class:`ManifestError` derives from
+:class:`~repro.resilience.errors.PersistenceError` so the query service's
+reload path treats a bad manifest exactly like a bad single-index artifact:
+report once, keep serving the previous generation.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import PersistenceError
+
+
+class ShardError(Exception):
+    """Base class for operational sharding failures."""
+
+
+class PartitionError(ValueError):
+    """Invalid partition specification (unknown partitioner, bad S, ...)."""
+
+
+class ManifestError(PersistenceError):
+    """Shard manifest is unreadable, corrupt, or from an unknown schema."""

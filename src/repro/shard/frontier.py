@@ -1,0 +1,394 @@
+"""Per-shard query frontier: the shard-local half of the distributed greedy.
+
+A :class:`ShardFrontier` owns one shard's NB-Index structures for the
+duration of a single (θ, k) query and answers the coordinator's three
+needs, always in *global* graph ids:
+
+* **candidates** — a lazily advancing best-first walk of the shard's
+  NB-Tree (:class:`RoundSearch`, Algorithm 2 restricted to the shard),
+  yielding leaves with exact *local* gains in bound order.  The per-node
+  working bounds ``W`` persist across greedy rounds exactly as in the
+  single-index engine; submodularity keeps stale entries safe.
+* **foreign resolution** — membership of *any* graph's θ-neighborhood
+  within this shard's relevant set, for graphs living on other shards:
+  the foreign graph is embedded once against this shard's vantage points
+  (``|V|`` distances through the shared global engine) and then filtered
+  with the same Chebyshev lower bound / min-sum upper bound sandwich the
+  home path uses, so only the undecided band pays exact distances.
+  π̂-style *counts* over the uncovered relevant set
+  (:meth:`pi_hat_uncovered`) give the coordinator a cheap bound-refinement
+  tier before it commits to full resolution.
+* **broadcast updates** — after a selection anywhere in the cluster,
+  :meth:`apply_update` replays the Theorem 6–8 walk against this shard's
+  tree: subtrees provably outside the ``2θ`` ball of the selected graph
+  are skipped, contained clusters get one batch decrement, cached leaves
+  refresh to exact residual gains.
+
+Id discipline (load-bearing): the shard's own engine and embedding speak
+*local* ids (the sub-database renumbers 0..n_s−1); everything that crosses
+a shard boundary goes through the *global* engine with global ids.  Mixing
+the two in one engine would alias different graphs onto the same pair-cache
+key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.results import QueryStats
+from repro.index.nbindex import NBIndex
+from repro.index.nbtree import NBTreeNode
+
+_EPS = 1e-9
+_NEG_INF = float("-inf")
+#: Tie-break sentinel for subtrees with no relevant members (loses to any
+#: real graph id).
+_NO_GID = 2**63 - 1
+
+
+class ShardFrontier:
+    """One shard's state for one coordinated (θ, k) query."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        index: NBIndex,
+        global_ids: np.ndarray,
+        relevant_global: np.ndarray,
+        global_engine,
+        theta: float,
+        ladder_index: int,
+        stats: QueryStats,
+    ):
+        self.shard_id = shard_id
+        self.index = index
+        self.global_ids = np.asarray(global_ids, dtype=np.int64)
+        self.global_engine = global_engine
+        self.theta = float(theta)
+        self.stats = stats
+        self._g2l = {int(g): i for i, g in enumerate(self.global_ids)}
+        self.member_set = frozenset(self._g2l)
+
+        # Relevant graphs of this shard, aligned local/global, ascending.
+        rel = [int(g) for g in relevant_global if int(g) in self._g2l]
+        self.relevant_global = np.asarray(rel, dtype=np.int64)
+        self.relevant_local = np.asarray(
+            [self._g2l[g] for g in rel], dtype=np.int64
+        )
+        self._relevant_set = frozenset(rel)
+        self._position = {g: p for p, g in enumerate(rel)}
+
+        # Per-node relevant members (global ids) and min-gid tie keys.
+        self._node_relevant: dict[int, frozenset[int]] = {}
+        self._node_min_gid: dict[int, int] = {}
+        self._collect_relevant(index.tree.root)
+
+        # Initial working bounds: the π̂ column at the covering rung.
+        if self.relevant_local.size:
+            theta_i = index.ladder[ladder_index]
+            column = index.embedding.candidate_counts(
+                self.relevant_local, [theta_i], self.relevant_local
+            )[:, 0]
+        else:
+            column = np.empty(0, dtype=np.int64)
+        self.bounds = self._initial_bounds(column)
+
+        self._selected: set[int] = set()
+        #: Exact θ-neighborhood *within this shard's relevant set*, keyed
+        #: by global id (home and foreign graphs share the cache).
+        self._nbhd: dict[int, frozenset[int]] = {}
+        self._foreign_coords: dict[int, np.ndarray] = {}
+        self._uncov_mask = np.ones(self.relevant_global.size, dtype=bool)
+        self.uncovered_count = int(self.relevant_global.size)
+
+    # ------------------------------------------------------------------
+    # Initialization internals
+    # ------------------------------------------------------------------
+    def _collect_relevant(self, node: NBTreeNode) -> frozenset[int]:
+        if node.is_leaf:
+            gid = int(self.global_ids[node.graph_index])
+            members = (
+                frozenset([gid]) if gid in self._relevant_set else frozenset()
+            )
+        else:
+            members = frozenset().union(
+                *(self._collect_relevant(child) for child in node.children)
+            )
+        self._node_relevant[node.node_id] = members
+        self._node_min_gid[node.node_id] = min(members, default=_NO_GID)
+        return members
+
+    def _initial_bounds(self, column: np.ndarray) -> np.ndarray:
+        bounds = np.full(self.index.tree.num_nodes, _NEG_INF)
+
+        def fill(node: NBTreeNode) -> float:
+            if node.is_leaf:
+                gid = int(self.global_ids[node.graph_index])
+                position = self._position.get(gid)
+                value = float(column[position]) if position is not None else _NEG_INF
+            else:
+                value = max(
+                    (fill(child) for child in node.children), default=_NEG_INF
+                )
+            bounds[node.node_id] = value
+            return value
+
+        fill(self.index.tree.root)
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def begin_round(self, covered: set[int]) -> None:
+        """Refresh the uncovered-relevant view for one greedy round."""
+        if self.relevant_global.size:
+            self._uncov_mask = np.fromiter(
+                (int(g) not in covered for g in self.relevant_global),
+                dtype=bool,
+                count=self.relevant_global.size,
+            )
+            self.uncovered_count = int(np.count_nonzero(self._uncov_mask))
+        else:
+            self.uncovered_count = 0
+
+    def root_bound(self) -> float:
+        return float(self.bounds[self.index.tree.root.node_id])
+
+    def open_round(self, covered: set[int]) -> "RoundSearch":
+        return RoundSearch(self, covered)
+
+    def select(self, gid: int) -> None:
+        """Mark a home graph as chosen: its leaf leaves the frontier."""
+        local = self._g2l[int(gid)]
+        self.bounds[self.index._leaf_of[local].node_id] = _NEG_INF
+        self._selected.add(int(gid))
+
+    # ------------------------------------------------------------------
+    # Neighborhood resolution (home and foreign graphs)
+    # ------------------------------------------------------------------
+    def foreign_coords(self, gid: int) -> np.ndarray:
+        """This shard's vantage coordinates of a foreign graph (cached)."""
+        coords = self._foreign_coords.get(gid)
+        if coords is None:
+            vantage_global = [
+                int(self.global_ids[vp])
+                for vp in self.index.embedding.vantage_indices
+            ]
+            coords = np.asarray(
+                self.global_engine.one_to_many(int(gid), vantage_global),
+                dtype=float,
+            )
+            self._foreign_coords[gid] = coords
+        return coords
+
+    def pi_hat_uncovered(self, gid: int) -> int:
+        """Chebyshev count of *uncovered* relevant members within θ of
+        ``gid`` — an upper bound on the gain contribution of this shard."""
+        if not self.uncovered_count:
+            return 0
+        coords = self.foreign_coords(gid)
+        among = self.relevant_local[self._uncov_mask]
+        lower = self.index.embedding.lower_bounds_to(coords, among)
+        return int(np.count_nonzero(lower <= self.theta + _EPS))
+
+    def neighborhood_of(self, gid: int) -> frozenset[int]:
+        """``N_θ(gid) ∩ relevant(shard)`` in global ids, exact, cached.
+
+        Membership is always ``d(gid, c) ≤ θ + ε`` with the global ε — the
+        same predicate on the home path (shard engine + embedding sandwich)
+        and the foreign path (global engine + foreign-coords sandwich), so
+        the union over shards equals the single-index neighborhood."""
+        cached = self._nbhd.get(gid)
+        if cached is not None:
+            return cached
+        gid = int(gid)
+        theta = self.theta
+        stats = self.stats
+        if gid in self.member_set:
+            local = self._g2l[gid]
+            index = self.index
+            candidates = index.embedding.candidates(
+                local, theta + _EPS, self.relevant_local
+            )
+            stats.candidates_generated += int(candidates.size)
+            verified: set[int] = set()
+            others = [int(c) for c in candidates if int(c) != local]
+            if len(others) < candidates.size:
+                verified.add(local)
+            stats.candidate_verifications += len(others)
+            mask = index.engine.within(local, others, theta)
+            verified.update(c for c, ok in zip(others, mask) if ok)
+            result = frozenset(int(self.global_ids[c]) for c in verified)
+        else:
+            coords = self.foreign_coords(gid)
+            among = self.relevant_local
+            members: list[int] = []
+            if among.size:
+                lower = self.index.embedding.lower_bounds_to(coords, among)
+                window = among[lower <= theta + _EPS]
+                stats.candidates_generated += int(window.size)
+                if window.size:
+                    upper = self.index.embedding.upper_bounds_to(coords, window)
+                    accepted = window[upper <= theta + _EPS]
+                    undecided = window[upper > theta + _EPS]
+                    members.extend(int(self.global_ids[c]) for c in accepted)
+                    stats.candidate_verifications += int(undecided.size)
+                    if undecided.size:
+                        targets = [int(self.global_ids[c]) for c in undecided]
+                        distances = self.global_engine.one_to_many(gid, targets)
+                        members.extend(
+                            t for t, d in zip(targets, distances)
+                            if d <= theta + _EPS
+                        )
+            result = frozenset(members)
+        self._nbhd[gid] = result
+        stats.exact_neighborhoods += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Broadcast update (Theorems 6–8 on the shard tree)
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, selected: int, newly: frozenset[int], covered: set[int]
+    ) -> None:
+        """Tighten this shard's bounds after ``selected`` (any shard) was
+        added and ``newly`` (global ids) became covered."""
+        self._update(self.index.tree.root, int(selected), newly, covered)
+
+    def _update(
+        self,
+        node: NBTreeNode,
+        selected: int,
+        newly: frozenset[int],
+        covered: set[int],
+    ) -> None:
+        bounds = self.bounds
+        if bounds[node.node_id] == _NEG_INF:
+            return
+        stats = self.stats
+        theta = self.theta
+        centroid_global = int(self.global_ids[node.centroid])
+        centroid_distance = float(
+            self.global_engine(selected, centroid_global)
+        )
+        if centroid_distance - node.radius > 2.0 * theta + _EPS:
+            stats.pruned_subtrees += 1
+            return  # Theorem 6: no member's neighborhood changed.
+        if node.is_leaf:
+            gid = int(self.global_ids[node.graph_index])
+            cached = self._nbhd.get(gid)
+            if cached is not None:
+                # Residual of the *local* part only — still an upper-bound
+                # component; the coordinator adds foreign parts on top.
+                bounds[node.node_id] = float(len(cached - covered))
+            elif centroid_distance <= theta + _EPS and gid in newly:
+                bounds[node.node_id] = max(0.0, bounds[node.node_id] - 1.0)
+            return
+        if (
+            node.diameter <= theta + _EPS
+            and centroid_distance + node.radius <= theta + _EPS
+        ):
+            # Theorem 7: the whole cluster sits inside N(selected); one
+            # decrement covers every member.
+            decrement = len(self._node_relevant[node.node_id] & newly)
+            if decrement:
+                stats.batch_decrements += 1
+                bounds[node.node_id] = max(
+                    0.0, bounds[node.node_id] - float(decrement)
+                )
+            return
+        for child in node.children:
+            self._update(child, selected, newly, covered)
+
+
+class RoundSearch:
+    """One shard's lazy best-first walk for one greedy round.
+
+    The coordinator pulls candidates with :meth:`next`; between pulls it
+    reads :meth:`peek` to re-rank the shard against the others.  The walk
+    shares the frontier's persistent bound array, so work done in one
+    round keeps paying off in later rounds (and pulls that resolve leaves
+    leave exact gains behind for the update step to refresh)."""
+
+    def __init__(self, frontier: ShardFrontier, covered: set[int]):
+        self.frontier = frontier
+        self.covered = covered
+        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, float, NBTreeNode]] = []
+        root = frontier.index.tree.root
+        root_bound = float(frontier.bounds[root.node_id])
+        if root_bound != _NEG_INF:
+            self._heap.append((-root_bound, next(self._counter), root_bound, root))
+
+    def peek(self) -> float:
+        """Upper bound on any local gain still obtainable this round."""
+        return self._heap[0][2] if self._heap else _NEG_INF
+
+    def next(
+        self, min_useful: float, tie_gid: int | None
+    ) -> tuple[int, float, frozenset[int]] | None:
+        """Advance to the next candidate whose local gain could still
+        matter: strictly above ``min_useful``, or equal to it with a graph
+        id smaller than ``tie_gid``.
+
+        Returns ``(global id, exact local gain, local neighborhood)`` or
+        ``None`` when the shard is exhausted for this round.  ``None`` is
+        final: the thresholds only tighten as the round progresses, so a
+        shard that cannot contribute now cannot contribute later in the
+        same round."""
+        frontier = self.frontier
+        bounds = frontier.bounds
+        min_gid = frontier._node_min_gid
+        heap = self._heap
+        stats = frontier.stats
+        while heap:
+            _, _, pushed_bound, node = heapq.heappop(heap)
+            stats.nodes_popped += 1
+            if pushed_bound < min_useful:
+                # Everything left is no better; park the entry so peek()
+                # stays honest for the coordinator's ranking.
+                heapq.heappush(
+                    heap,
+                    (-pushed_bound, next(self._counter), pushed_bound, node),
+                )
+                return None
+            if (
+                tie_gid is not None
+                and pushed_bound == min_useful
+                and min_gid[node.node_id] > tie_gid
+            ):
+                continue  # can tie but never win the id tie-break
+            current = min(pushed_bound, float(bounds[node.node_id]))
+            if current < min_useful or (
+                tie_gid is not None
+                and current == min_useful
+                and min_gid[node.node_id] > tie_gid
+            ):
+                continue
+            if node.is_leaf:
+                if bounds[node.node_id] == _NEG_INF:
+                    continue
+                gid = int(frontier.global_ids[node.graph_index])
+                neighborhood = frontier.neighborhood_of(gid)
+                gain = float(len(neighborhood - self.covered))
+                bounds[node.node_id] = gain
+                stats.leaves_evaluated += 1
+                return gid, gain, neighborhood
+            for child in node.children:
+                if not frontier._node_relevant[child.node_id]:
+                    continue
+                child_bound = min(float(bounds[child.node_id]), current)
+                if child_bound == _NEG_INF:
+                    continue
+                if child_bound > min_useful or (
+                    child_bound == min_useful
+                    and (tie_gid is None or min_gid[child.node_id] < tie_gid)
+                ):
+                    heapq.heappush(
+                        heap,
+                        (-child_bound, next(self._counter), child_bound, child),
+                    )
+        return None

@@ -1,0 +1,168 @@
+"""The shard manifest: one small JSON file describing a sharded index.
+
+The manifest is the unit the service watches and the CLI passes around; the
+per-shard ``.npz`` artifacts live next to it (paths are stored relative to
+the manifest's directory so the whole bundle relocates as one).  It records
+everything needed to (re)load and *validate* the bundle:
+
+* the partitioner and the full per-graph shard assignment,
+* the shared global threshold ladder (every shard indexes π̂ at the same
+  rungs — the coordinator's off-ladder check is global),
+* a crc32 over the database fingerprint (wrong-database loads fail loudly
+  before any shard is touched),
+* per-shard artifact paths, byte checksums and sizes — the checksum is how
+  hot reload decides which shards actually changed and which loaded shard
+  objects can be reused as-is.
+
+The file is written atomically and carries its own crc32 over the canonical
+body, so a torn or hand-mangled manifest raises
+:class:`~repro.shard.errors.ManifestError` (a
+:class:`~repro.resilience.errors.PersistenceError`) instead of a JSON
+traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.atomicio import atomic_write
+from repro.shard.errors import ManifestError
+
+SCHEMA = "repro.shard-manifest/v1"
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's artifact: where it lives and how to validate it."""
+
+    shard_id: int
+    path: str  # relative to the manifest's directory
+    checksum: int  # crc32 of the artifact file bytes
+    num_graphs: int
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "path": self.path,
+            "checksum": self.checksum,
+            "num_graphs": self.num_graphs,
+        }
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Complete description of a sharded NB-Index bundle."""
+
+    num_shards: int
+    num_graphs: int
+    partitioner: str
+    seed: int | None
+    ladder: tuple[float, ...]
+    assignments: np.ndarray  # (num_graphs,) global gid -> shard id
+    database_checksum: int  # crc32 over the database fingerprint bytes
+    shards: tuple[ShardEntry, ...]
+    build: dict = field(default_factory=dict)
+
+    def members(self, shard_id: int) -> np.ndarray:
+        """Global graph ids of one shard, ascending — the local→global id
+        map (local id ``i`` is the ``i``-th smallest global id)."""
+        return np.flatnonzero(self.assignments == shard_id)
+
+    def artifact_path(self, shard_id: int, base_dir: Path) -> Path:
+        return Path(base_dir) / self.shards[shard_id].path
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _body(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "num_shards": self.num_shards,
+            "num_graphs": self.num_graphs,
+            "partitioner": self.partitioner,
+            "seed": self.seed,
+            "ladder": list(self.ladder),
+            "assignments": [int(a) for a in self.assignments],
+            "database_checksum": self.database_checksum,
+            "shards": [entry.to_dict() for entry in self.shards],
+            "build": self.build,
+        }
+
+    def save(self, path: str | Path) -> None:
+        body = self._body()
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        document = {"manifest": body, "crc32": zlib.crc32(canonical.encode())}
+        with atomic_write(Path(path), "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardManifest":
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ManifestError(f"{path}: unreadable shard manifest: {error}")
+        if not isinstance(document, dict) or "manifest" not in document:
+            raise ManifestError(f"{path}: not a shard manifest")
+        body = document["manifest"]
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        if zlib.crc32(canonical.encode()) != document.get("crc32"):
+            raise ManifestError(
+                f"{path}: manifest checksum mismatch — file is corrupt"
+            )
+        if body.get("schema") != SCHEMA:
+            raise ManifestError(
+                f"{path}: unsupported manifest schema "
+                f"{body.get('schema')!r} (this build reads {SCHEMA!r})"
+            )
+        try:
+            manifest = cls(
+                num_shards=int(body["num_shards"]),
+                num_graphs=int(body["num_graphs"]),
+                partitioner=str(body["partitioner"]),
+                seed=body["seed"],
+                ladder=tuple(float(v) for v in body["ladder"]),
+                assignments=np.asarray(body["assignments"], dtype=np.int64),
+                database_checksum=int(body["database_checksum"]),
+                shards=tuple(
+                    ShardEntry(
+                        shard_id=int(e["shard_id"]),
+                        path=str(e["path"]),
+                        checksum=int(e["checksum"]),
+                        num_graphs=int(e["num_graphs"]),
+                    )
+                    for e in body["shards"]
+                ),
+                build=dict(body.get("build", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ManifestError(f"{path}: malformed shard manifest: {error}")
+        if manifest.assignments.shape != (manifest.num_graphs,):
+            raise ManifestError(
+                f"{path}: assignment vector has "
+                f"{manifest.assignments.shape[0]} entries for "
+                f"{manifest.num_graphs} graphs"
+            )
+        if len(manifest.shards) != manifest.num_shards:
+            raise ManifestError(
+                f"{path}: {len(manifest.shards)} shard entries for "
+                f"num_shards={manifest.num_shards}"
+            )
+        return manifest
+
+
+def database_checksum(database) -> int:
+    """crc32 over the database fingerprint — cheap wrong-database guard.
+
+    The per-shard artifacts additionally carry full fingerprints of their
+    sub-databases, so this is a fast-fail, not the only line of defense.
+    """
+    from repro.index.persistence import database_fingerprint
+
+    return zlib.crc32(database_fingerprint(database).tobytes())

@@ -1,0 +1,230 @@
+"""`ShardedIndex`: S per-shard NB-Indexes behind the single-index API.
+
+Load a manifest bundle (or build one in place) and query it exactly like
+an :class:`~repro.index.NBIndex` — same ``query(query_fn, theta, k)``
+signature, same keyword arguments, same :class:`QueryResult`, and (by the
+coordinator's canonical selection rule) the *same bits* in the answer.
+
+The global :class:`~repro.engine.DistanceEngine` attached here handles
+every cross-shard distance using global graph ids; per-shard engines speak
+only their own renumbered local ids.  Keeping the two id spaces in
+separate engines is what keeps the shared pair caches sound.
+
+Hot reload support: :meth:`load` accepts the previously served instance
+and *reuses* any shard object whose artifact checksum and member set are
+unchanged in the new manifest — reloading a bundle where one shard was
+rebuilt touches exactly one shard's worth of disk and allocation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.results import QueryResult
+from repro.graphs.database import GraphDatabase
+from repro.index.nbindex import NBIndex
+from repro.index.persistence import load_index
+from repro.index.pivec import ThresholdLadder
+from repro.resilience.errors import CorruptIndexError, DatabaseMismatchError
+from repro.shard.coordinator import ShardedQuerySession
+from repro.shard.manifest import ShardManifest, database_checksum
+
+
+class ShardedIndex:
+    """S shard NB-Indexes + manifest + global engine, queryable as one."""
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        distance,
+        *,
+        shards: list[NBIndex],
+        manifest: ShardManifest,
+        engine,
+        path: Path | None = None,
+        reused_shards: int = 0,
+    ):
+        self.database = database
+        self.distance = distance
+        self.shards = list(shards)
+        self.manifest = manifest
+        self.engine = engine
+        self.path = path
+        self.reused_shards = reused_shards
+        self.ladder = ThresholdLadder(manifest.ladder)
+        self.shard_of = np.asarray(manifest.assignments, dtype=np.int64)
+        self.global_ids = [
+            manifest.members(s) for s in range(manifest.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        manifest_path: str | Path,
+        database: GraphDatabase,
+        distance,
+        *,
+        workers: int | None = None,
+        previous: "ShardedIndex | None" = None,
+    ) -> "ShardedIndex":
+        """Load a shard bundle written by :func:`~repro.shard.build_shards`.
+
+        Raises :class:`~repro.shard.errors.ManifestError` /
+        :class:`~repro.resilience.CorruptIndexError` /
+        :class:`~repro.resilience.DatabaseMismatchError` — all
+        ``PersistenceError`` subclasses, so the service reload path rolls
+        back cleanly.  ``previous`` enables shard-object reuse (see module
+        docstring)."""
+        from repro.engine import DistanceEngine
+
+        manifest_path = Path(manifest_path)
+        manifest = ShardManifest.load(manifest_path)
+        if len(database) != manifest.num_graphs or (
+            database_checksum(database) != manifest.database_checksum
+        ):
+            raise DatabaseMismatchError(
+                f"{manifest_path}: shard manifest does not match the "
+                f"provided database"
+            )
+        engine = DistanceEngine(
+            distance, workers=workers, graphs=database.graphs
+        )
+        base_dir = manifest_path.parent
+        shards: list[NBIndex] = []
+        reused = 0
+        for entry in manifest.shards:
+            members = manifest.members(entry.shard_id)
+            if (
+                previous is not None
+                and entry.shard_id < previous.manifest.num_shards
+                and previous.manifest.shards[entry.shard_id].checksum
+                == entry.checksum
+                and np.array_equal(
+                    previous.manifest.members(entry.shard_id), members
+                )
+            ):
+                shards.append(previous.shards[entry.shard_id])
+                reused += 1
+                continue
+            artifact = manifest.artifact_path(entry.shard_id, base_dir)
+            raw = artifact.read_bytes()
+            if zlib.crc32(raw) != entry.checksum:
+                raise CorruptIndexError(
+                    f"{artifact}: shard bytes do not match the manifest "
+                    f"checksum — stale or tampered artifact"
+                )
+            sub = database.subset([int(i) for i in members])
+            shards.append(load_index(artifact, sub, distance, workers=workers))
+        obs.counter("shard.loads")
+        if reused:
+            obs.counter("shard.reused", reused)
+        return cls(
+            database, distance, shards=shards, manifest=manifest,
+            engine=engine, path=manifest_path, reused_shards=reused,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        database: GraphDatabase,
+        distance,
+        *,
+        num_shards: int,
+        out_dir: str | Path,
+        workers: int | None = None,
+        **build_kwargs,
+    ) -> "ShardedIndex":
+        """Build a bundle under ``out_dir`` and load it back."""
+        from repro.shard.build import build_shards
+
+        manifest_path = build_shards(
+            database, distance, num_shards=num_shards, out_dir=out_dir,
+            workers=workers, **build_kwargs,
+        )
+        return cls.load(manifest_path, database, distance, workers=workers)
+
+    # ------------------------------------------------------------------
+    # Queries (single-index API surface)
+    # ------------------------------------------------------------------
+    def session(self, query_fn) -> ShardedQuerySession:
+        return ShardedQuerySession(self, query_fn)
+
+    def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
+        unknown = set(kwargs) - NBIndex._QUERY_KWARGS
+        if unknown:
+            raise TypeError(
+                f"ShardedIndex.query() got unexpected keyword arguments "
+                f"{sorted(unknown)}; accepted: {sorted(NBIndex._QUERY_KWARGS)}"
+            )
+        return self.session(query_fn).query(theta, k, **kwargs)
+
+    def set_ladder(self, ladder: ThresholdLadder) -> None:
+        """Swap the coordinator's (global) ladder; each shard re-ladders
+        too so π̂ columns keep being read at the shared rungs."""
+        self.ladder = ladder
+        for shard in self.shards:
+            shard.set_ladder(ladder)
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.manifest.num_shards
+
+    @property
+    def tree_nodes(self) -> int:
+        """Total NB-Tree nodes across shards (single-index parity)."""
+        return sum(shard.tree.num_nodes for shard in self.shards)
+
+    def stats(self) -> dict:
+        """Statable protocol: bundle roll-up plus per-shard breakdown."""
+        out = {
+            "num_graphs": len(self.database),
+            "num_shards": self.num_shards,
+            "partitioner": self.manifest.partitioner,
+            "tree_nodes": self.tree_nodes,
+            "ladder_thresholds": len(self.ladder),
+            "reused_shards": self.reused_shards,
+            "memory_bytes": sum(s._memory_bytes() for s in self.shards),
+            "distance_calls": (
+                self.engine.calls
+                + sum(s._counting.calls for s in self.shards)
+            ),
+            "shards": [
+                {
+                    "shard_id": i,
+                    "num_graphs": len(shard.database),
+                    "tree_nodes": shard.tree.num_nodes,
+                    "distance_calls": shard._counting.calls,
+                }
+                for i, shard in enumerate(self.shards)
+            ],
+        }
+        if hasattr(self.engine, "stats"):
+            out["engine"] = dict(self.engine.stats())
+        return out
+
+    def invalidate_pools(self) -> None:
+        """Tear down the global engine's pool and every shard engine's."""
+        if hasattr(self.engine, "invalidate_pool"):
+            self.engine.invalidate_pool()
+        for shard in self.shards:
+            if shard.engine is not None:
+                shard.engine.invalidate_pool()
+
+    close = invalidate_pools
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedIndex n={len(self.database)} "
+            f"shards={self.num_shards} "
+            f"partitioner={self.manifest.partitioner!r}>"
+        )

@@ -4,11 +4,12 @@ greedy trajectory (same per-iteration gains and final π as Algorithm 1)."""
 import numpy as np
 import pytest
 
+import repro
 from repro.core import all_theta_neighborhoods, baseline_greedy
 from repro.ged import StarDistance
-from repro.graphs import quartile_relevance
-from repro.index import NBIndex, ThresholdLadder
-from tests.conftest import random_database
+from repro.graphs import GraphDatabase, LabeledGraph, quartile_relevance
+from repro.index import NBIndex, OffLadderThetaError, ThresholdLadder
+from tests.conftest import random_connected_graph, random_database
 
 
 def _build(seed=0, size=70, **kwargs):
@@ -71,6 +72,72 @@ class TestAgainstBaselineGreedy:
         assert result.covered == frozenset(union)
 
 
+class TestTieBreakDeterminism:
+    """Equal-gain ties must resolve to the smallest graph id everywhere, so
+    the trajectory is a *canonical* greedy — identical to baseline_greedy
+    answer-for-answer and independent of tree shape or partitioning."""
+
+    @pytest.mark.parametrize("seed,theta,k", [
+        (0, 4.0, 5),
+        (3, 8.0, 10),
+        (13, 5.0, 7),
+        (21, 3.0, 12),
+    ])
+    def test_exact_match_with_baseline_greedy(self, seed, theta, k):
+        db, dist, q, index = _build(seed=seed)
+        expected = baseline_greedy(db, dist, q, theta, k)
+        actual = index.query(q, theta, k)
+        assert actual.answer == expected.answer
+        assert actual.gains == expected.gains
+        assert actual.covered == expected.covered
+
+    def test_adversarial_all_ties_select_in_id_order(self):
+        # A database of identical graphs: every distance is 0, so every
+        # selection at every step is a pure tie.  The canonical rule must
+        # pick ids in ascending order: 0 first (covers everything), then
+        # the smallest remaining id each round.
+        rng = np.random.default_rng(17)
+        g = random_connected_graph(rng, 5)
+        n = 12
+        graphs = [LabeledGraph(g.node_labels, g.edges()) for _ in range(n)]
+        db = GraphDatabase(graphs, np.zeros((n, 1)))
+        dist = StarDistance()
+
+        class AllRelevant:
+            def mask(self, matrix):
+                return np.ones(matrix.shape[0], dtype=bool)
+
+        q = AllRelevant()
+        index = NBIndex.build(
+            db, dist, num_vantage_points=3, branching=3, seed=2,
+            thresholds=ThresholdLadder([0.5]),
+        )
+        result = index.query(q, 0.5, 6)
+        assert result.answer == list(range(6))
+        assert result.gains == [n] + [0] * 5
+        expected = baseline_greedy(db, dist, q, 0.5, 6)
+        assert result.answer == expected.answer
+
+    def test_duplicated_graphs_match_baseline(self):
+        # Half the database duplicates the other half: lots of partial
+        # ties without the degenerate all-zero geometry.
+        base = random_database(seed=31, size=24)
+        graphs = [LabeledGraph(g.node_labels, g.edges()) for g in base.graphs]
+        graphs += [LabeledGraph(g.node_labels, g.edges()) for g in base.graphs]
+        rng = np.random.default_rng(31)
+        db = GraphDatabase(graphs, rng.random((len(graphs), 2)))
+        dist = StarDistance()
+        q = quartile_relevance(db, quantile=0.3)
+        index = NBIndex.build(
+            db, dist, num_vantage_points=5, branching=4, seed=3,
+            thresholds=ThresholdLadder([4.0]),
+        )
+        expected = baseline_greedy(db, dist, q, 4.0, 8)
+        actual = index.query(q, 4.0, 8)
+        assert actual.answer == expected.answer
+        assert actual.gains == expected.gains
+
+
 class TestBudgetEdgeCases:
     def test_k_larger_than_relevant_set(self):
         db, dist, q, index = _build(seed=6, size=40)
@@ -79,7 +146,9 @@ class TestBudgetEdgeCases:
         assert len(result.answer) <= len(relevant)
 
     def test_stop_on_zero_gain(self):
-        db, dist, q, index = _build(seed=7)
+        # θ must be on the ladder now (off-ladder θ raises), so index the
+        # huge threshold explicitly.
+        db, dist, q, index = _build(seed=7, thresholds=ThresholdLadder([1e6]))
         full = index.query(q, 1e6, 10)  # everything within θ of anything
         stopped = index.query(q, 1e6, 10, stop_on_zero_gain=True)
         assert len(stopped.answer) == 1  # first pick covers all
@@ -108,13 +177,30 @@ class TestBudgetEdgeCases:
 
 
 class TestLadderInteraction:
-    def test_theta_beyond_ladder_falls_back_to_trivial_bound(self):
+    def test_theta_beyond_ladder_raises_typed_error(self):
         db, dist, q, index = _build(
             seed=10, thresholds=ThresholdLadder([1.0, 2.0])
         )
         theta = 50.0  # way above the ladder
+        with pytest.raises(OffLadderThetaError) as excinfo:
+            index.query(q, theta, 4)
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # still a ValueError for old callers
+        assert err.theta == theta
+        assert err.nearest_rungs == (1.0, 2.0)
+        assert "set_ladder" in str(err)
+        # Re-laddering the same index makes the θ answerable, and the
+        # answer is a valid greedy trajectory.
+        index.set_ladder(ThresholdLadder([1.0, 2.0, theta]))
         actual = index.query(q, theta, 4)
         assert_valid_greedy_trajectory(db, dist, q, theta, actual)
+
+    def test_offladder_theta_counter_increments(self):
+        _, _, q, index = _build(seed=10, thresholds=ThresholdLadder([1.0]))
+        with repro.observe() as run:
+            with pytest.raises(OffLadderThetaError):
+                index.query(q, 9.0, 2)
+        assert run.stats()["counters"]["index.offladder_theta"] == 1
 
     def test_tight_ladder_fewer_evaluations_than_trivial(self):
         db, dist, q, _ = _build(seed=11)
