@@ -1,0 +1,50 @@
+"""Hot-path benchmark: packed-bitset coverage kernel vs set-based reference.
+
+Runs the three-layer sweep of :mod:`repro.bench.hotpath`:
+
+* **end-to-end** — Algorithm 1 over Gaussian vector databases with a
+  vectorized range-query backend, set-based reference vs bitset engine on
+  identical inputs;
+* **engine identity** — NB-Index (S=1) and sharded coordinator (S=4)
+  answer the same (θ, k) query; every row is checked bit-for-bit (ids,
+  gains, ordering, coverage) against the reference;
+* **kernels** — median latency of each bitset primitive at the largest
+  universe, the baselines ``scripts/check_bench_delta.py`` guards.
+
+Runnable standalone (``python benchmarks/bench_bitset_hotpath.py``),
+writing ``BENCH_bitset_hotpath.json`` at the repository root, or under
+pytest (small sizes, temporary output, identity assertions only — the
+committed document stays untouched).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.hotpath import (
+    check_document,
+    format_summary,
+    run_hotpath,
+    write_document,
+)
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_bitset_hotpath.json"
+
+
+def test_bitset_hotpath(tmp_path):
+    document = run_hotpath(
+        sizes=(300, 600), k=8, repeats=1, include_engines=True,
+    )
+    write_document(document, tmp_path / "BENCH_bitset_hotpath.json")
+    print(format_summary(document))
+    assert check_document(document) == []
+
+
+if __name__ == "__main__":
+    outcome = run_hotpath()
+    write_document(outcome, _JSON_PATH)
+    print(f"wrote {_JSON_PATH}")
+    print(format_summary(outcome))
+    problems = check_document(outcome)
+    if problems:
+        raise SystemExit(f"bitset hot path diverged from reference: {problems}")

@@ -1,0 +1,81 @@
+"""Guard the bitset kernel microbenchmarks against perf regressions.
+
+Re-runs :func:`repro.bench.hotpath.kernel_microbench` at the same universe
+size as the committed ``BENCH_bitset_hotpath.json`` and fails when any
+primitive's median latency regressed by more than the threshold (default
+25%) against that baseline.
+
+Timing baselines are machine-specific, so the check is **opt-in on CI**:
+when ``CI`` is set it only runs if ``REPRO_BENCH_DELTA=1`` is also set
+(flip it in the workflow to enable).  It is likewise skipped — exit 0,
+not an error — when the benchmark document has not been committed yet.
+
+Usage::
+
+    python scripts/check_bench_delta.py [--threshold 0.25] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_JSON = _REPO_ROOT / "BENCH_bitset_hotpath.json"
+_META_KEYS = ("nbits", "rows")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=_DEFAULT_JSON,
+                        help="committed benchmark document to compare against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown per kernel "
+                             "(default: 0.25 = +25%%)")
+    parser.add_argument("--force", action="store_true",
+                        help="run even on CI without REPRO_BENCH_DELTA=1")
+    args = parser.parse_args(argv)
+
+    if (os.environ.get("CI") and not os.environ.get("REPRO_BENCH_DELTA")
+            and not args.force):
+        print("check_bench_delta: skipped on CI "
+              "(set REPRO_BENCH_DELTA=1 to opt in)")
+        return 0
+    if not args.json.exists():
+        print(f"check_bench_delta: skipped — {args.json} not committed yet")
+        return 0
+
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.bench.hotpath import kernel_microbench
+
+    baseline = json.loads(args.json.read_text()).get("kernels")
+    if not baseline:
+        print("check_bench_delta: skipped — document has no kernel baselines")
+        return 0
+
+    fresh = kernel_microbench(int(baseline["nbits"]), rows=int(baseline["rows"]))
+    regressions = []
+    print(f"{'kernel':<26}{'baseline ms':>12}{'fresh ms':>10}{'delta':>8}")
+    for name, base_ms in baseline.items():
+        if name in _META_KEYS:
+            continue
+        got_ms = fresh[name]
+        delta = (got_ms - base_ms) / max(base_ms, 1e-9)
+        flag = " <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<26}{base_ms:>12.4f}{got_ms:>10.4f}{delta:>+7.0%}{flag}")
+        if delta > args.threshold:
+            regressions.append(name)
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} kernel(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"OK: all kernels within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ from repro.bench.harness import (
     write_result,
 )
 from repro.bench.printers import format_table, print_and_save
-from repro.bench import experiments, scaling
+from repro.bench import experiments, hotpath, scaling
 
 __all__ = [
     "BenchContext",
@@ -25,5 +25,6 @@ __all__ = [
     "format_table",
     "print_and_save",
     "experiments",
+    "hotpath",
     "scaling",
 ]

@@ -1,0 +1,108 @@
+"""Id ↔ position mapping for packed bitsets over a fixed id universe.
+
+The greedy engines all operate on subsets of one frozen universe — the
+relevant set ``L_q`` — whose member ids are ascending database ids.  A
+:class:`BitsetUniverse` pins that ordering once per query (position =
+rank of the id within the universe) so every bitset built against it is
+layout-compatible: the same ids always occupy the same bits, unions and
+popcounts are meaningful across producers (greedy, NB-Index sessions,
+shard frontiers), and decoding recovers exactly the original ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitset import kernel
+from repro.utils.validation import require
+
+
+class BitsetUniverse:
+    """A frozen ascending id universe and its packed-bitset codec."""
+
+    __slots__ = ("ids", "size", "num_words", "_position")
+
+    def __init__(self, ids):
+        self.ids = np.asarray(ids, dtype=np.int64).ravel()
+        if self.ids.size > 1:
+            require(
+                bool(np.all(self.ids[1:] > self.ids[:-1])),
+                "universe ids must be strictly ascending",
+            )
+        self.size = int(self.ids.size)
+        self.num_words = kernel.num_words(self.size)
+        self._position = {int(g): p for p, g in enumerate(self.ids)}
+
+    # -- membership ----------------------------------------------------
+    def __contains__(self, gid) -> bool:
+        return int(gid) in self._position
+
+    def position(self, gid) -> int | None:
+        """Bit position of one id, or ``None`` for a non-member."""
+        return self._position.get(int(gid))
+
+    def positions_of(self, ids) -> np.ndarray:
+        """Vectorized id → position lookup (every id must be a member)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if not ids.size:
+            return np.empty(0, dtype=np.int64)
+        positions = np.searchsorted(self.ids, ids)
+        require(
+            bool(np.all(positions < self.size))
+            and bool(np.all(self.ids[positions] == ids)),
+            "id outside the bitset universe",
+        )
+        return positions.astype(np.int64)
+
+    def member_positions(self, ids) -> np.ndarray:
+        """Positions of the ids that ARE members; non-members are dropped.
+
+        The vectorized form of ``[position(i) for i in ids if i in self]``
+        — one searchsorted over the candidate block, no per-id Python.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if not ids.size or not self.size:
+            return np.empty(0, dtype=np.int64)
+        clipped = np.minimum(np.searchsorted(self.ids, ids), self.size - 1)
+        return clipped[self.ids[clipped] == ids].astype(np.int64)
+
+    # -- constructors --------------------------------------------------
+    def empty(self) -> np.ndarray:
+        return kernel.zeros(self.size)
+
+    def empty_matrix(self, rows: int) -> np.ndarray:
+        return kernel.zeros_matrix(rows, self.size)
+
+    def full(self) -> np.ndarray:
+        return kernel.full(self.size)
+
+    def encode_positions(self, positions) -> np.ndarray:
+        return kernel.from_positions(positions, self.size)
+
+    def encode_ids(self, ids) -> np.ndarray:
+        return kernel.from_positions(self.positions_of(ids), self.size)
+
+    # -- decoding ------------------------------------------------------
+    def decode_ids(self, words: np.ndarray) -> np.ndarray:
+        """Member ids, ascending."""
+        return self.ids[kernel.to_positions(words)]
+
+    def decode_frozenset(self, words: np.ndarray) -> frozenset[int]:
+        """Member ids as the frozenset the set-based engines produced."""
+        return frozenset(int(g) for g in self.decode_ids(words))
+
+    def min_id(self, words: np.ndarray, default: int) -> int:
+        """Smallest member id (tie-break key), or ``default`` when empty."""
+        position = kernel.first_set(words)
+        return default if position < 0 else int(self.ids[position])
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes one packed subset of this universe occupies."""
+        return self.num_words * 8
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"<BitsetUniverse size={self.size} words={self.num_words}>"

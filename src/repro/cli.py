@@ -10,6 +10,7 @@ Wires the library's main workflows into subcommands::
     repro query dud.jsonl --k 10 --shards dud-shards/manifest.json
     repro serve dud.jsonl --index dud-index.npz [--tcp 127.0.0.1:7341]
     repro serve dud.jsonl --shards dud-shards/manifest.json
+    repro bench-hotpath --sizes 500
     repro experiment fig2a_disc_growth
 
 ``repro experiment`` runs any benchmark driver by name and prints its
@@ -290,6 +291,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_bench_hotpath(args) -> int:
+    from repro.bench.hotpath import (
+        check_document,
+        format_summary,
+        run_hotpath,
+        write_document,
+    )
+
+    document = run_hotpath(
+        sizes=tuple(args.sizes), k=args.k, seed=args.seed,
+        repeats=args.repeats, shard_count=args.shard_count,
+        include_engines=not args.no_engines,
+    )
+    print(format_summary(document))
+    if args.json:
+        path = write_document(document, args.json)
+        print(f"wrote {path}")
+    problems = check_document(document)
+    if problems:
+        print("bitset hot path diverged from the set-based reference:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("all answers bit-identical to the set-based reference")
+    return 0
+
+
 #: The canonical reproduction set run by ``repro experiment --all``:
 #: (driver name, dataset argument or None for the subcommand default).
 ALL_EXPERIMENTS = (
@@ -526,6 +555,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="print the counter/span report after drain")
     p.set_defaults(func=cmd_serve)
+
+    p = subparsers.add_parser(
+        "bench-hotpath",
+        help="dual-run identity smoke: bitset hot path vs set-based "
+             "reference (greedy, NB-Index S=1, sharded S=4)",
+    )
+    p.add_argument("--sizes", type=int, nargs="+", default=[500],
+                   help="database sizes to sweep (default: 500)")
+    p.add_argument("--k", type=int, default=16)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timing repeats; identity needs only 1 (default)")
+    p.add_argument("--shard-count", type=int, default=4)
+    p.add_argument("--no-engines", action="store_true",
+                   help="skip the NB-Index / sharded engine rows "
+                        "(greedy-only smoke)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the benchmark document to PATH")
+    p.set_defaults(func=cmd_bench_hotpath)
 
     p = subparsers.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument("name", nargs="?", default=None,

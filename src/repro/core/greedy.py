@@ -7,33 +7,109 @@ distances — exactly the bottleneck the NB-Index removes — which is why this
 implementation also accepts a range-query backend (C-tree, M-tree, distance
 matrix) for the scalability comparisons of Figs. 2(b), 5(i–k) and 6(b–g).
 
+Coverage bookkeeping runs on the packed-bitset kernel
+(:mod:`repro.bitset`): neighborhoods are rows of one ``(|L_q|, words)``
+uint64 matrix, the covered set is a word array, and every marginal gain is
+a vectorized ``popcount(row & ~covered)`` — the whole argmax scan of one
+greedy round is a single batch :func:`~repro.bitset.uncovered_counts`
+call.  Answers are bit-identical to the retained set-based reference
+(:mod:`repro.core.setgreedy`); the dual-run gate in
+``tests/test_hotpath_identity.py`` enforces it.
+
 Tie-breaking is deterministic: among graphs of equal marginal gain the one
 with the smallest database id wins, making the trajectory reproducible and
-directly comparable across engines.
+directly comparable across engines.  (Bitset rows are ordered by ascending
+id, so ``argmax`` lands on exactly that winner.)
 """
 
 from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro import obs
+from repro.bitset import BitsetUniverse, kernel
 from repro.core.representative import (
     RangeQueryFn,
     all_theta_neighborhoods,
 )
 from repro.core.results import QueryResult, QueryStats
+from repro.core.setgreedy import _maybe_engine
 from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
 from repro.utils.validation import require_positive
 
 
-def _maybe_engine(engine, workers, distance, database):
-    """Build a :class:`DistanceEngine` when ``workers`` is given without one."""
-    if engine is not None or workers is None:
-        return engine
-    from repro.engine import DistanceEngine
+class CoverageState:
+    """Packed coverage state shared by both greedy variants.
 
-    return DistanceEngine(distance, workers=workers, graphs=database.graphs)
+    One instance per query: the relevant-id universe, the θ-neighborhoods
+    packed as a ``(|L_q|, words)`` uint64 matrix (row order = ascending
+    id), and the running covered bitset.  Both :func:`baseline_greedy` and
+    :func:`lazy_greedy` select through :meth:`take` — the single
+    implementation of the selection/coverage-update step their loop bodies
+    used to duplicate.
+    """
+
+    def __init__(self, relevant, neighborhoods):
+        self.universe = BitsetUniverse(relevant)
+        self.matrix = self.universe.empty_matrix(self.universe.size)
+        for position, gid in enumerate(self.universe.ids):
+            members = np.fromiter(
+                neighborhoods[int(gid)], dtype=np.int64,
+                count=len(neighborhoods[int(gid)]),
+            )
+            self.matrix[position] = self.universe.encode_ids(members)
+        self.covered = self.universe.empty()
+
+    @classmethod
+    def from_range_query(cls, relevant, range_query, theta):
+        """Build coverage straight from a range-query backend.
+
+        Each row is the backend's candidate block intersected with the
+        universe and packed in one vectorized pass — no per-id frozenset
+        materialization.  Membership matches
+        :func:`~repro.core.representative.all_theta_neighborhoods` with
+        the same backend: candidates restricted to the relevant set, plus
+        the graph itself.
+        """
+        self = cls.__new__(cls)
+        self.universe = BitsetUniverse(relevant)
+        self.matrix = self.universe.empty_matrix(self.universe.size)
+        for position, gid in enumerate(self.universe.ids):
+            positions = self.universe.member_positions(
+                np.asarray(range_query(int(gid), theta), dtype=np.int64)
+            )
+            row = kernel.from_positions(positions, self.universe.size)
+            kernel.set_bit(row, position)
+            self.matrix[position] = row
+        self.covered = self.universe.empty()
+        return self
+
+    def sizes(self) -> np.ndarray:
+        """``|N_θ(g)|`` per row — the lazy heap's initial gains."""
+        return kernel.popcount_rows(self.matrix)
+
+    def gains(self) -> np.ndarray:
+        """Marginal gain of every row against the current coverage."""
+        return kernel.uncovered_counts(self.matrix, self.covered)
+
+    def gain(self, position: int) -> int:
+        """Marginal gain of one row (lazy re-evaluation)."""
+        return kernel.uncovered_count(self.matrix[position], self.covered)
+
+    def take(self, position: int, answer: list[int], gains: list[int]) -> int:
+        """Select one graph: record id and exact gain, fold its
+        neighborhood into the covered set.  Returns the gain."""
+        gain = kernel.uncovered_count(self.matrix[position], self.covered)
+        answer.append(int(self.universe.ids[position]))
+        gains.append(int(gain))
+        kernel.union_into(self.covered, self.matrix[position])
+        return int(gain)
+
+    def covered_ids(self) -> frozenset[int]:
+        return self.universe.decode_frozenset(self.covered)
 
 
 def baseline_greedy(
@@ -83,36 +159,37 @@ def baseline_greedy(
     with obs.span("greedy.run", kind="baseline", theta=theta, k=k):
         started = time.perf_counter()
         relevant = [int(i) for i in database.relevant_indices(query_fn)]
-        neighborhoods = all_theta_neighborhoods(
-            database, counting, relevant, theta, range_query=range_query,
-            engine=engine,
-        )
+        if range_query is not None:
+            coverage = CoverageState.from_range_query(
+                relevant, range_query, theta
+            )
+        else:
+            neighborhoods = all_theta_neighborhoods(
+                database, counting, relevant, theta, engine=engine,
+            )
+            coverage = CoverageState(relevant, neighborhoods)
         stats.init_seconds = time.perf_counter() - started
-        stats.exact_neighborhoods = len(neighborhoods)
+        stats.exact_neighborhoods = len(relevant)
 
         started = time.perf_counter()
         answer: list[int] = []
         gains: list[int] = []
-        covered: set[int] = set()
-        remaining = set(relevant)
+        remaining = np.ones(coverage.universe.size, dtype=bool)
         for _ in range(min(k, len(relevant))):
-            best = None
-            best_gain = -1
-            # Iterate in id order so equal gains resolve to the smallest id.
-            for gid in sorted(remaining):
-                stats.gain_evaluations += 1
-                gain = len(neighborhoods[gid] - covered)
-                if gain > best_gain:
-                    best_gain = gain
-                    best = gid
-            if best is None:
+            live = int(np.count_nonzero(remaining))
+            if not live:
                 break
-            if best_gain == 0 and stop_on_zero_gain:
+            stats.gain_evaluations += live
+            # One batch popcount scans every remaining row; rows are in
+            # ascending-id order, so argmax resolves equal gains to the
+            # smallest id — the canonical tie-break.
+            row_gains = coverage.gains()
+            row_gains[~remaining] = -1
+            best_position = int(np.argmax(row_gains))
+            if row_gains[best_position] == 0 and stop_on_zero_gain:
                 break
-            answer.append(best)
-            gains.append(best_gain)
-            covered |= neighborhoods[best]
-            remaining.discard(best)
+            coverage.take(best_position, answer, gains)
+            remaining[best_position] = False
         stats.search_seconds = time.perf_counter() - started
         stats.distance_calls = counting.calls - calls_before
         obs.counter("greedy.gain_evaluations", stats.gain_evaluations)
@@ -121,7 +198,7 @@ def baseline_greedy(
     return QueryResult(
         answer=answer,
         gains=gains,
-        covered=frozenset(covered),
+        covered=coverage.covered_ids(),
         num_relevant=len(relevant),
         theta=theta,
         stats=stats,
@@ -159,36 +236,43 @@ def lazy_greedy(
     with obs.span("greedy.run", kind="lazy", theta=theta, k=k):
         started = time.perf_counter()
         relevant = [int(i) for i in database.relevant_indices(query_fn)]
-        neighborhoods = all_theta_neighborhoods(
-            database, counting, relevant, theta, range_query=range_query,
-            engine=engine,
-        )
+        if range_query is not None:
+            coverage = CoverageState.from_range_query(
+                relevant, range_query, theta
+            )
+        else:
+            neighborhoods = all_theta_neighborhoods(
+                database, counting, relevant, theta, engine=engine,
+            )
+            coverage = CoverageState(relevant, neighborhoods)
         stats.init_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         answer: list[int] = []
         gains: list[int] = []
-        covered: set[int] = set()
+        universe = coverage.universe
         # Heap of (-gain, gid, generation); a stale generation triggers
         # re-evaluation.  gid ascending gives smallest-id tie-breaking.
-        heap = [(-len(neighborhoods[gid]), gid, 0) for gid in sorted(relevant)]
+        sizes = coverage.sizes()
+        heap = [
+            (-int(sizes[position]), int(gid), 0)
+            for position, gid in enumerate(universe.ids)
+        ]
         heapq.heapify(heap)
         stats.gain_evaluations = len(heap)
         generation = 0
         while heap and len(answer) < min(k, len(relevant)):
             neg_gain, gid, entry_generation = heapq.heappop(heap)
+            position = universe.position(gid)
             if entry_generation != generation:
                 stats.gain_evaluations += 1
                 stats.reheap_count += 1
-                fresh = len(neighborhoods[gid] - covered)
+                fresh = coverage.gain(position)
                 heapq.heappush(heap, (-fresh, gid, generation))
                 continue
-            gain = -neg_gain
-            if gain == 0 and stop_on_zero_gain:
+            if -neg_gain == 0 and stop_on_zero_gain:
                 break
-            answer.append(gid)
-            gains.append(gain)
-            covered |= neighborhoods[gid]
+            coverage.take(position, answer, gains)
             generation += 1
         stats.search_seconds = time.perf_counter() - started
         stats.distance_calls = counting.calls - calls_before
@@ -199,7 +283,7 @@ def lazy_greedy(
     return QueryResult(
         answer=answer,
         gains=gains,
-        covered=frozenset(covered),
+        covered=coverage.covered_ids(),
         num_relevant=len(relevant),
         theta=theta,
         stats=stats,

@@ -44,6 +44,7 @@ import warnings
 import numpy as np
 
 from repro import obs
+from repro.bitset import BitsetUniverse, kernel as bitset_kernel
 from repro.core.results import QueryResult, QueryStats
 from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
@@ -276,6 +277,7 @@ class NBIndex:
             "build_seconds": self.build_seconds,
             "distance_calls": self._counting.calls,
             "memory_bytes": self._memory_bytes(),
+            "coverage_bytes": self._coverage_bytes(),
             "degraded": bool(self.build_degradations),
             "build_degradations": dict(self.build_degradations),
             "tree_build": {
@@ -320,6 +322,18 @@ class NBIndex:
             total += node.members.nbytes + per_node_fixed
         total += 8 * len(self.ladder)
         return total
+
+    def _coverage_bytes(self) -> int:
+        """Bytes the packed coverage state of a worst-case session occupies.
+
+        A :class:`QuerySession` keeps one bitset row of relevant members
+        per tree node plus the running covered bitset, all over a universe
+        of at most ``|DB|`` ids.  This is the footprint the bitset kernel
+        trades against the old per-node frozensets (~60 bytes per stored
+        id); ``bench_fig6l_index_memory`` reports both.
+        """
+        words = bitset_kernel.num_words(len(self.database))
+        return (self.tree.num_nodes + 1) * words * 8
 
     # ------------------------------------------------------------------
     # Queries
@@ -482,7 +496,8 @@ def _spot_check_metric(database, distance, rng, num_triples: int = 25) -> None:
 class QuerySession:
     """Per-relevance-function query state (initialization phase product).
 
-    Holds the relevant set, per-node relevant member sets, lazily computed
+    Holds the relevant set, per-node relevant member bitmaps (packed over
+    a :class:`~repro.bitset.BitsetUniverse` of ``L_q``), lazily computed
     π̂ columns per indexed threshold, and the shared exact-distance cache —
     everything that survives a θ refinement.
     """
@@ -493,33 +508,39 @@ class QuerySession:
         started = time.perf_counter()
         self.relevant = index.database.relevant_indices(query_fn)
         self.relevant_set = frozenset(int(i) for i in self.relevant)
-        self._position = {int(g): p for p, g in enumerate(self.relevant)}
-        self._node_relevant: dict[int, frozenset[int]] = {}
-        self._node_min_gid: dict[int, int] = {}
+        self.universe = BitsetUniverse(self.relevant)
+        self._position = self.universe.position
+        # One packed row of relevant subtree members per tree node — the
+        # store behind the Theorem 7 batch decrement (a popcount against
+        # the newly-covered bitset) and the (gain, min-id) tie-break keys.
+        self._node_bits = self.universe.empty_matrix(index.tree.num_nodes)
+        self._node_min_gid = np.full(index.tree.num_nodes, _NO_GID, dtype=np.int64)
         self._collect_relevant(index.tree.root)
+        self._node_has = bitset_kernel.popcount_rows(self._node_bits) > 0
         self._pi_hat_columns: dict[int | None, np.ndarray] = {}
+        #: Bytes of packed coverage state (node bitmaps + covered bitset).
+        self.coverage_bytes = (
+            self._node_bits.nbytes + self.universe.row_bytes
+        )
         self.init_seconds = time.perf_counter() - started
         obs.observe_time("query.session_init_seconds", self.init_seconds)
 
     # -- initialization ------------------------------------------------
-    def _collect_relevant(self, node: NBTreeNode) -> frozenset[int]:
+    def _collect_relevant(self, node: NBTreeNode) -> None:
+        row = self._node_bits[node.node_id]
         if node.is_leaf:
-            members = (
-                frozenset([node.graph_index])
-                if node.graph_index in self.relevant_set
-                else frozenset()
-            )
+            position = self.universe.position(node.graph_index)
+            if position is not None:
+                bitset_kernel.set_bit(row, position)
         else:
-            members = frozenset().union(
-                *(self._collect_relevant(child) for child in node.children)
-            )
-        self._node_relevant[node.node_id] = members
-        self._node_min_gid[node.node_id] = min(members, default=_NO_GID)
-        return members
+            for child in node.children:
+                self._collect_relevant(child)
+                bitset_kernel.union_into(row, self._node_bits[child.node_id])
+        self._node_min_gid[node.node_id] = self.universe.min_id(row, _NO_GID)
 
     def relevant_in(self, node: NBTreeNode) -> frozenset[int]:
         """Relevant database graphs in the subtree of ``node``."""
-        return self._node_relevant[node.node_id]
+        return self.universe.decode_frozenset(self._node_bits[node.node_id])
 
     def pi_hat_column(self, ladder_index: int | None) -> np.ndarray:
         """π̂ counts (|N̂| over L_q) for every relevant graph at one indexed
@@ -587,10 +608,10 @@ class QuerySession:
             bounds = self._initial_bounds(column)
             stats.init_seconds += time.perf_counter() - started
 
-            covered: set[int] = set()
+            covered = self.universe.empty()
             answer: list[int] = []
             gains: list[int] = []
-            neighborhoods: dict[int, frozenset[int]] = {}
+            neighborhoods: dict[int, np.ndarray] = {}
 
             for _ in range(min(k, self.relevant.size)):
                 search_started = time.perf_counter()
@@ -600,15 +621,16 @@ class QuerySession:
                 stats.search_seconds += time.perf_counter() - search_started
                 if best is None:
                     break
-                newly = neighborhoods[best] - covered
-                if not newly and stop_on_zero_gain:
+                newly = bitset_kernel.andnot(neighborhoods[best], covered)
+                gain = bitset_kernel.popcount(newly)
+                if not gain and stop_on_zero_gain:
                     break
                 answer.append(best)
-                gains.append(len(newly))
-                covered |= newly
+                gains.append(gain)
+                bitset_kernel.union_into(covered, newly)
                 bounds[index._leaf_of[best].node_id] = _NEG_INF
                 update_started = time.perf_counter()
-                if newly and enable_updates:
+                if gain and enable_updates:
                     self._update(
                         index.tree.root, best, newly, theta, bounds,
                         covered, neighborhoods, stats,
@@ -632,7 +654,7 @@ class QuerySession:
         return QueryResult(
             answer=answer,
             gains=gains,
-            covered=frozenset(covered),
+            covered=self.universe.decode_frozenset(covered),
             num_relevant=int(self.relevant.size),
             theta=theta,
             stats=stats,
@@ -645,7 +667,7 @@ class QuerySession:
 
         def fill(node: NBTreeNode) -> float:
             if node.is_leaf:
-                position = self._position.get(node.graph_index)
+                position = self._position(node.graph_index)
                 value = float(column[position]) if position is not None else _NEG_INF
             else:
                 value = max(
@@ -661,10 +683,11 @@ class QuerySession:
         self,
         gid: int,
         theta: float,
-        neighborhoods: dict[int, frozenset[int]],
+        neighborhoods: dict[int, np.ndarray],
         stats: QueryStats,
-    ) -> frozenset[int]:
-        """``N_θ(g)`` over L_q: vantage candidates verified by edit distance."""
+    ) -> np.ndarray:
+        """``N_θ(g)`` over L_q as a packed bitset: vantage candidates
+        verified by edit distance."""
         cached = neighborhoods.get(gid)
         if cached is not None:
             return cached
@@ -689,7 +712,9 @@ class QuerySession:
                 stats.candidate_verifications += 1
                 if index.distance(graph, index.database[c]) <= theta + _EPS:
                     verified.add(c)
-        result = frozenset(verified)
+        result = self.universe.encode_ids(
+            np.fromiter(verified, dtype=np.int64, count=len(verified))
+        )
         neighborhoods[gid] = result
         stats.exact_neighborhoods += 1
         return result
@@ -698,8 +723,8 @@ class QuerySession:
         self,
         theta: float,
         bounds: np.ndarray,
-        covered: set[int],
-        neighborhoods: dict[int, frozenset[int]],
+        covered: np.ndarray,
+        neighborhoods: dict[int, np.ndarray],
         stats: QueryStats,
     ) -> tuple[int | None, float]:
         """Algorithm 2: best-first search for the next greedy selection."""
@@ -746,7 +771,7 @@ class QuerySession:
                 neighborhood = self._exact_neighborhood(
                     gid, theta, neighborhoods, stats
                 )
-                gain = float(len(neighborhood - covered))
+                gain = float(bitset_kernel.uncovered_count(neighborhood, covered))
                 bounds[node.node_id] = gain
                 stats.leaves_evaluated += 1
                 if gain > best_gain or (
@@ -756,7 +781,7 @@ class QuerySession:
                     best = gid
             else:
                 for child in node.children:
-                    if not self._node_relevant[child.node_id]:
+                    if not self._node_has[child.node_id]:
                         continue
                     child_bound = min(float(bounds[child.node_id]), current)
                     if child_bound == _NEG_INF:
@@ -779,11 +804,11 @@ class QuerySession:
         self,
         node: NBTreeNode,
         selected: int,
-        newly: set[int] | frozenset[int],
+        newly: np.ndarray,
         theta: float,
         bounds: np.ndarray,
-        covered: set[int],
-        neighborhoods: dict[int, frozenset[int]],
+        covered: np.ndarray,
+        neighborhoods: dict[int, np.ndarray],
         stats: QueryStats,
     ) -> None:
         """Theorems 6–8: batch-tighten bounds after adding ``selected``.
@@ -808,8 +833,13 @@ class QuerySession:
             gid = node.graph_index
             cached = neighborhoods.get(gid)
             if cached is not None:
-                bounds[node.node_id] = float(len(cached - covered))
-            elif centroid_distance <= theta + _EPS and gid in newly:
+                bounds[node.node_id] = float(
+                    bitset_kernel.uncovered_count(cached, covered)
+                )
+            elif centroid_distance <= theta + _EPS and (
+                (position := self._position(gid)) is not None
+                and bitset_kernel.test_bit(newly, position)
+            ):
                 # The leaf itself is newly covered: its own neighborhood
                 # contains it, so its gain shrinks by at least one.
                 bounds[node.node_id] = max(0.0, bounds[node.node_id] - 1.0)
@@ -821,7 +851,9 @@ class QuerySession:
             # Theorem 7 (exact-coverage form): the cluster is inside
             # N(selected) and every member's neighborhood contains the
             # cluster, so each loses the newly covered relevant members.
-            decrement = len(self._node_relevant[node.node_id] & newly)
+            decrement = bitset_kernel.intersection_count(
+                self._node_bits[node.node_id], newly
+            )
             if decrement:
                 stats.batch_decrements += 1
                 bounds[node.node_id] = max(

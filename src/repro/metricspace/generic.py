@@ -33,9 +33,25 @@ class PayloadDistance:
     def payload(self, gid: int):
         return self._payloads[gid]
 
+    def _index_of(self, g: LabeledGraph) -> int:
+        # Placeholder graphs carry their payload index in the node label
+        # ("o<i>", see metric_space_database), which survives database
+        # subsetting; graph_id does not — a shard's sub-database renumbers
+        # ids 0..n_s-1, and resolving through it would alias payloads.
+        label = g.node_labels[0]
+        if isinstance(label, str) and label.startswith("o"):
+            try:
+                return int(label[1:])
+            except ValueError:
+                pass
+        return g.graph_id
+
     def __call__(self, g1: LabeledGraph, g2: LabeledGraph) -> float:
         return float(
-            self._metric(self._payloads[g1.graph_id], self._payloads[g2.graph_id])
+            self._metric(
+                self._payloads[self._index_of(g1)],
+                self._payloads[self._index_of(g2)],
+            )
         )
 
     def __len__(self) -> int:

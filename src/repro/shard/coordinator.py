@@ -44,6 +44,7 @@ import heapq
 import time
 
 from repro import obs
+from repro.bitset import BitsetDelta, BitsetUniverse, kernel as bitset_kernel
 from repro.core.results import QueryResult, QueryStats
 from repro.index.errors import OffLadderThetaError
 from repro.shard.frontier import ShardFrontier
@@ -70,6 +71,9 @@ class ShardedQuerySession:
         started = time.perf_counter()
         self.relevant = sharded.database.relevant_indices(query_fn)
         self.relevant_set = frozenset(int(i) for i in self.relevant)
+        #: Shared global id ↔ bit position codec; every frontier's bitsets
+        #: and every broadcast delta are laid out against this universe.
+        self.universe = BitsetUniverse(self.relevant)
         self.init_seconds = time.perf_counter() - started
         obs.observe_time("shard.session_init_seconds", self.init_seconds)
 
@@ -109,6 +113,7 @@ class ShardedQuerySession:
             "refine_prunes": 0,
             "scatter_resolves": 0,
             "broadcasts": 0,
+            "broadcast_words": 0,
             "foreign_embeds": 0,
         }
 
@@ -126,18 +131,19 @@ class ShardedQuerySession:
                     theta=theta,
                     ladder_index=ladder_index,
                     stats=stats,
+                    universe=self.universe,
                 )
                 for s in range(sharded.num_shards)
             ]
             stats.init_seconds += time.perf_counter() - started
 
-            covered: set[int] = set()
+            covered = self.universe.empty()
             answer: list[int] = []
             gains: list[int] = []
             #: Fully resolved *global* neighborhoods from tier-3 scatters —
             #: the coordinator's analog of the single-index session's
-            #: neighborhood cache.
-            global_nbhd: dict[int, frozenset[int]] = {}
+            #: neighborhood cache (packed global bitsets).
+            global_nbhd: dict[int, object] = {}
 
             for _ in range(min(k, self.relevant.size)):
                 search_started = time.perf_counter()
@@ -149,18 +155,22 @@ class ShardedQuerySession:
                 if selection is None:
                     break
                 gid, neighborhood = selection
-                newly = neighborhood - covered
-                if not newly and stop_on_zero_gain:
+                newly = bitset_kernel.andnot(neighborhood, covered)
+                gain = bitset_kernel.popcount(newly)
+                if not gain and stop_on_zero_gain:
                     break
                 answer.append(gid)
-                gains.append(len(newly))
-                covered |= newly
+                gains.append(gain)
+                bitset_kernel.union_into(covered, newly)
                 frontiers[int(sharded.shard_of[gid])].select(gid)
                 update_started = time.perf_counter()
-                if newly and enable_updates:
-                    frozen_newly = frozenset(newly)
+                if gain and enable_updates:
+                    # Word-aligned delta broadcast: only the words that
+                    # actually changed cross the shard boundary.
+                    delta = BitsetDelta.from_words(newly, self.universe.size)
+                    coord["broadcast_words"] += delta.num_words
                     for frontier in frontiers:
-                        frontier.apply_update(gid, frozen_newly, covered)
+                        frontier.apply_update(gid, delta, covered)
                     coord["broadcasts"] += 1
                 stats.update_seconds += time.perf_counter() - update_started
 
@@ -192,7 +202,7 @@ class ShardedQuerySession:
         return QueryResult(
             answer=answer,
             gains=gains,
-            covered=frozenset(covered),
+            covered=self.universe.decode_frozenset(covered),
             num_relevant=int(self.relevant.size),
             theta=theta,
             stats=stats,
@@ -220,7 +230,7 @@ class ShardedQuerySession:
 
         inc_gid: int | None = None
         inc_gain = -1.0
-        inc_nbhd: frozenset[int] | None = None
+        inc_nbhd = None
 
         while shard_heap:
             neg_bound, s = heapq.heappop(shard_heap)
@@ -278,9 +288,12 @@ class ShardedQuerySession:
         ``None`` when a bound proves it cannot win."""
         cached = global_nbhd.get(gid)
         if cached is not None:
-            # Resolved in an earlier round: the exact gain is one set
-            # difference away — no scatter needed.
-            return float(len(cached - covered)), cached
+            # Resolved in an earlier round: the exact gain is one batch
+            # popcount away — no scatter needed.
+            return (
+                float(bitset_kernel.uncovered_count(cached, covered)),
+                cached,
+            )
 
         foreign_frontiers = [
             f for s, f in enumerate(frontiers) if s != home
@@ -297,13 +310,15 @@ class ShardedQuerySession:
             coord["refine_prunes"] += 1
             return None  # tier 2
 
-        members = set(local_nbhd)
+        neighborhood = local_nbhd.copy()
         for frontier in foreign_frontiers:
-            members |= frontier.neighborhood_of(gid)
-        neighborhood = frozenset(members)
+            bitset_kernel.union_into(neighborhood, frontier.neighborhood_of(gid))
         global_nbhd[gid] = neighborhood
         coord["scatter_resolves"] += 1
-        return float(len(neighborhood - covered)), neighborhood
+        return (
+            float(bitset_kernel.uncovered_count(neighborhood, covered)),
+            neighborhood,
+        )
 
     # ------------------------------------------------------------------
     def _total_calls(self) -> int:
@@ -326,6 +341,7 @@ class ShardedQuerySession:
             "shard.coordinator.scatter_resolves", coord["scatter_resolves"]
         )
         obs.counter("shard.coordinator.broadcasts", coord["broadcasts"])
+        obs.counter("shard.coordinator.broadcast_words", coord["broadcast_words"])
         obs.counter("shard.coordinator.foreign_embeds", coord["foreign_embeds"])
         obs.counter("query.distance_calls", stats.distance_calls)
         obs.counter("query.exact_neighborhoods", stats.exact_neighborhoods)

@@ -24,6 +24,13 @@ needs, always in *global* graph ids:
   are skipped, contained clusters get one batch decrement, cached leaves
   refresh to exact residual gains.
 
+Coverage state is packed: every frontier shares the session's global
+:class:`~repro.bitset.BitsetUniverse` over ``L_q``, so the covered set,
+per-node relevant bitmaps, cached neighborhoods, and the coordinator's
+broadcast deltas (:class:`~repro.bitset.BitsetDelta` — only the nonzero
+words cross the shard boundary) are all layout-compatible uint64 arrays;
+set arithmetic is word-parallel popcounts, never per-id Python.
+
 Id discipline (load-bearing): the shard's own engine and embedding speak
 *local* ids (the sub-database renumbers 0..n_s−1); everything that crosses
 a shard boundary goes through the *global* engine with global ids.  Mixing
@@ -38,6 +45,8 @@ import itertools
 
 import numpy as np
 
+from repro import obs
+from repro.bitset import BitsetDelta, BitsetUniverse, kernel as bitset_kernel
 from repro.core.results import QueryStats
 from repro.index.nbindex import NBIndex
 from repro.index.nbtree import NBTreeNode
@@ -62,6 +71,7 @@ class ShardFrontier:
         theta: float,
         ladder_index: int,
         stats: QueryStats,
+        universe: BitsetUniverse | None = None,
     ):
         self.shard_id = shard_id
         self.index = index
@@ -72,19 +82,34 @@ class ShardFrontier:
         self._g2l = {int(g): i for i, g in enumerate(self.global_ids)}
         self.member_set = frozenset(self._g2l)
 
+        #: Shared global id ↔ bit position codec over the full relevant set.
+        self.universe = (
+            universe
+            if universe is not None
+            else BitsetUniverse(np.asarray(relevant_global, dtype=np.int64))
+        )
+
         # Relevant graphs of this shard, aligned local/global, ascending.
         rel = [int(g) for g in relevant_global if int(g) in self._g2l]
         self.relevant_global = np.asarray(rel, dtype=np.int64)
         self.relevant_local = np.asarray(
             [self._g2l[g] for g in rel], dtype=np.int64
         )
-        self._relevant_set = frozenset(rel)
         self._position = {g: p for p, g in enumerate(rel)}
+        #: Bit positions (in the global universe) of this shard's relevant
+        #: members, aligned with ``relevant_local``.
+        self._rel_positions = self.universe.positions_of(self.relevant_global)
+        #: This shard's relevant members as a packed global bitset.
+        self.member_bits = self.universe.encode_positions(self._rel_positions)
 
-        # Per-node relevant members (global ids) and min-gid tie keys.
-        self._node_relevant: dict[int, frozenset[int]] = {}
-        self._node_min_gid: dict[int, int] = {}
+        # Per-node relevant member bitmaps (global universe) and min-gid
+        # tie keys — the Theorem 7 decrement is one delta popcount per node.
+        self._node_bits = self.universe.empty_matrix(index.tree.num_nodes)
+        self._node_min_gid = np.full(
+            index.tree.num_nodes, _NO_GID, dtype=np.int64
+        )
         self._collect_relevant(index.tree.root)
+        self._node_has = bitset_kernel.popcount_rows(self._node_bits) > 0
 
         # Initial working bounds: the π̂ column at the covering rung.
         if self.relevant_local.size:
@@ -97,9 +122,10 @@ class ShardFrontier:
         self.bounds = self._initial_bounds(column)
 
         self._selected: set[int] = set()
-        #: Exact θ-neighborhood *within this shard's relevant set*, keyed
-        #: by global id (home and foreign graphs share the cache).
-        self._nbhd: dict[int, frozenset[int]] = {}
+        #: Exact θ-neighborhood *within this shard's relevant set* as a
+        #: packed global bitset, keyed by global id (home and foreign
+        #: graphs share the cache).
+        self._nbhd: dict[int, np.ndarray] = {}
         self._foreign_coords: dict[int, np.ndarray] = {}
         self._uncov_mask = np.ones(self.relevant_global.size, dtype=bool)
         self.uncovered_count = int(self.relevant_global.size)
@@ -107,19 +133,17 @@ class ShardFrontier:
     # ------------------------------------------------------------------
     # Initialization internals
     # ------------------------------------------------------------------
-    def _collect_relevant(self, node: NBTreeNode) -> frozenset[int]:
+    def _collect_relevant(self, node: NBTreeNode) -> None:
+        row = self._node_bits[node.node_id]
         if node.is_leaf:
             gid = int(self.global_ids[node.graph_index])
-            members = (
-                frozenset([gid]) if gid in self._relevant_set else frozenset()
-            )
+            if gid in self._position:
+                bitset_kernel.set_bit(row, int(self.universe.position(gid)))
         else:
-            members = frozenset().union(
-                *(self._collect_relevant(child) for child in node.children)
-            )
-        self._node_relevant[node.node_id] = members
-        self._node_min_gid[node.node_id] = min(members, default=_NO_GID)
-        return members
+            for child in node.children:
+                self._collect_relevant(child)
+                bitset_kernel.union_into(row, self._node_bits[child.node_id])
+        self._node_min_gid[node.node_id] = self.universe.min_id(row, _NO_GID)
 
     def _initial_bounds(self, column: np.ndarray) -> np.ndarray:
         bounds = np.full(self.index.tree.num_nodes, _NEG_INF)
@@ -142,22 +166,27 @@ class ShardFrontier:
     # ------------------------------------------------------------------
     # Round lifecycle
     # ------------------------------------------------------------------
-    def begin_round(self, covered: set[int]) -> None:
-        """Refresh the uncovered-relevant view for one greedy round."""
+    def begin_round(self, covered: np.ndarray) -> None:
+        """Refresh the uncovered-relevant view for one greedy round.
+
+        ``covered`` is the coordinator's packed global covered bitset; the
+        shard's uncovered count is one ``popcount(members & ~covered)``
+        and the per-member mask one vectorized bit gather — no per-id scan.
+        """
         if self.relevant_global.size:
-            self._uncov_mask = np.fromiter(
-                (int(g) not in covered for g in self.relevant_global),
-                dtype=bool,
-                count=self.relevant_global.size,
+            self._uncov_mask = ~bitset_kernel.test_positions(
+                covered, self._rel_positions
             )
-            self.uncovered_count = int(np.count_nonzero(self._uncov_mask))
+            self.uncovered_count = bitset_kernel.uncovered_count(
+                self.member_bits, covered
+            )
         else:
             self.uncovered_count = 0
 
     def root_bound(self) -> float:
         return float(self.bounds[self.index.tree.root.node_id])
 
-    def open_round(self, covered: set[int]) -> "RoundSearch":
+    def open_round(self, covered: np.ndarray) -> "RoundSearch":
         return RoundSearch(self, covered)
 
     def select(self, gid: int) -> None:
@@ -191,11 +220,13 @@ class ShardFrontier:
             return 0
         coords = self.foreign_coords(gid)
         among = self.relevant_local[self._uncov_mask]
+        obs.counter("filter.block_evals")
         lower = self.index.embedding.lower_bounds_to(coords, among)
         return int(np.count_nonzero(lower <= self.theta + _EPS))
 
-    def neighborhood_of(self, gid: int) -> frozenset[int]:
-        """``N_θ(gid) ∩ relevant(shard)`` in global ids, exact, cached.
+    def neighborhood_of(self, gid: int) -> np.ndarray:
+        """``N_θ(gid) ∩ relevant(shard)`` as a packed global bitset, exact,
+        cached.
 
         Membership is always ``d(gid, c) ≤ θ + ε`` with the global ε — the
         same predicate on the home path (shard engine + embedding sandwich)
@@ -221,12 +252,13 @@ class ShardFrontier:
             stats.candidate_verifications += len(others)
             mask = index.engine.within(local, others, theta)
             verified.update(c for c, ok in zip(others, mask) if ok)
-            result = frozenset(int(self.global_ids[c]) for c in verified)
+            members = [int(self.global_ids[c]) for c in verified]
         else:
             coords = self.foreign_coords(gid)
             among = self.relevant_local
-            members: list[int] = []
+            members = []
             if among.size:
+                obs.counter("filter.block_evals")
                 lower = self.index.embedding.lower_bounds_to(coords, among)
                 window = among[lower <= theta + _EPS]
                 stats.candidates_generated += int(window.size)
@@ -243,7 +275,9 @@ class ShardFrontier:
                             t for t, d in zip(targets, distances)
                             if d <= theta + _EPS
                         )
-            result = frozenset(members)
+        result = self.universe.encode_ids(
+            np.fromiter(members, dtype=np.int64, count=len(members))
+        )
         self._nbhd[gid] = result
         stats.exact_neighborhoods += 1
         return result
@@ -252,18 +286,18 @@ class ShardFrontier:
     # Broadcast update (Theorems 6–8 on the shard tree)
     # ------------------------------------------------------------------
     def apply_update(
-        self, selected: int, newly: frozenset[int], covered: set[int]
+        self, selected: int, newly: BitsetDelta, covered: np.ndarray
     ) -> None:
         """Tighten this shard's bounds after ``selected`` (any shard) was
-        added and ``newly`` (global ids) became covered."""
+        added and the ids in the ``newly`` delta became covered."""
         self._update(self.index.tree.root, int(selected), newly, covered)
 
     def _update(
         self,
         node: NBTreeNode,
         selected: int,
-        newly: frozenset[int],
-        covered: set[int],
+        newly: BitsetDelta,
+        covered: np.ndarray,
     ) -> None:
         bounds = self.bounds
         if bounds[node.node_id] == _NEG_INF:
@@ -283,8 +317,13 @@ class ShardFrontier:
             if cached is not None:
                 # Residual of the *local* part only — still an upper-bound
                 # component; the coordinator adds foreign parts on top.
-                bounds[node.node_id] = float(len(cached - covered))
-            elif centroid_distance <= theta + _EPS and gid in newly:
+                bounds[node.node_id] = float(
+                    bitset_kernel.uncovered_count(cached, covered)
+                )
+            elif centroid_distance <= theta + _EPS and (
+                (position := self.universe.position(gid)) is not None
+                and newly.test(position)
+            ):
                 bounds[node.node_id] = max(0.0, bounds[node.node_id] - 1.0)
             return
         if (
@@ -293,7 +332,7 @@ class ShardFrontier:
         ):
             # Theorem 7: the whole cluster sits inside N(selected); one
             # decrement covers every member.
-            decrement = len(self._node_relevant[node.node_id] & newly)
+            decrement = newly.intersection_count(self._node_bits[node.node_id])
             if decrement:
                 stats.batch_decrements += 1
                 bounds[node.node_id] = max(
@@ -313,7 +352,7 @@ class RoundSearch:
     round keeps paying off in later rounds (and pulls that resolve leaves
     leave exact gains behind for the update step to refresh)."""
 
-    def __init__(self, frontier: ShardFrontier, covered: set[int]):
+    def __init__(self, frontier: ShardFrontier, covered: np.ndarray):
         self.frontier = frontier
         self.covered = covered
         self._counter = itertools.count()
@@ -329,13 +368,13 @@ class RoundSearch:
 
     def next(
         self, min_useful: float, tie_gid: int | None
-    ) -> tuple[int, float, frozenset[int]] | None:
+    ) -> tuple[int, float, np.ndarray] | None:
         """Advance to the next candidate whose local gain could still
         matter: strictly above ``min_useful``, or equal to it with a graph
         id smaller than ``tie_gid``.
 
-        Returns ``(global id, exact local gain, local neighborhood)`` or
-        ``None`` when the shard is exhausted for this round.  ``None`` is
+        Returns ``(global id, exact local gain, local neighborhood bitset)``
+        or ``None`` when the shard is exhausted for this round.  ``None`` is
         final: the thresholds only tighten as the round progresses, so a
         shard that cannot contribute now cannot contribute later in the
         same round."""
@@ -373,12 +412,14 @@ class RoundSearch:
                     continue
                 gid = int(frontier.global_ids[node.graph_index])
                 neighborhood = frontier.neighborhood_of(gid)
-                gain = float(len(neighborhood - self.covered))
+                gain = float(
+                    bitset_kernel.uncovered_count(neighborhood, self.covered)
+                )
                 bounds[node.node_id] = gain
                 stats.leaves_evaluated += 1
                 return gid, gain, neighborhood
             for child in node.children:
-                if not frontier._node_relevant[child.node_id]:
+                if not frontier._node_has[child.node_id]:
                     continue
                 child_bound = min(float(bounds[child.node_id]), current)
                 if child_bound == _NEG_INF:

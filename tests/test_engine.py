@@ -414,7 +414,9 @@ def test_insert_invalidates_pool_and_stays_correct():
         got = session._exact_neighborhood(
             new_id, 3.0, {}, result.stats.__class__()
         )
-        assert got == expected
+        # _exact_neighborhood returns a packed bitset over the session's
+        # relevant universe; decode for the brute-force comparison.
+        assert session.universe.decode_frozenset(got) == expected
     finally:
         index.engine.close()
 

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.ged import StarDistance
 from repro.graphs import GraphDatabase, quartile_relevance
 from repro.index import NBIndex
+from repro.index.errors import OffLadderThetaError
 from tests.conftest import random_connected_graph
 from tests.test_nbindex import assert_valid_greedy_trajectory
 
@@ -32,7 +33,13 @@ def test_random_databases_yield_valid_trajectories(seed, branching, theta, k):
         db, dist, num_vantage_points=int(rng.integers(1, 6)),
         branching=branching, seed=seed,
     )
-    result = index.query(q, theta, k)
+    try:
+        result = index.query(q, theta, k)
+    except OffLadderThetaError:
+        # The derived ladder is distance-sample dependent; a drawn theta
+        # above its top rung is refused by contract, not answered.
+        assert theta > max(index.ladder.values)
+        return
     assert_valid_greedy_trajectory(db, dist, q, theta, result)
     # Invariants that hold regardless of the draw:
     assert len(result.answer) == len(set(result.answer))
