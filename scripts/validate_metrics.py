@@ -128,6 +128,34 @@ def validate(document: dict, required_counters=()) -> list[str]:
     return problems
 
 
+def validate_index_stats(document: dict) -> list[str]:
+    """Validate a normalized ``Index.stats()`` dict (JSON) against the
+    ``index_stats`` definition — the one key schema NBIndex,
+    ShardedIndex and MutableIndex all speak."""
+    schema = json.loads(SCHEMA_PATH.read_text())
+    try:
+        validate_node(
+            document, schema["$defs"]["index_stats"], schema
+        )
+    except ValidationError as error:
+        return [str(error)]
+    problems: list[str] = []
+    shards = document.get("shards")
+    if shards is not None and len(shards) != document["num_shards"]:
+        problems.append(
+            f"shards lists {len(shards)} entries but num_shards is "
+            f"{document['num_shards']}"
+        )
+    delta = document.get("delta")
+    if delta is not None:
+        if delta["indexed_graphs"] + delta["memtable_size"] != document["num_graphs"]:
+            problems.append(
+                "delta.indexed_graphs + delta.memtable_size must equal "
+                "num_graphs"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("document", help="metrics JSON file to validate")
@@ -135,12 +163,32 @@ def main(argv=None) -> int:
         "--require", action="append", default=[], metavar="COUNTER",
         help="counter that must be present and positive (repeatable)",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="the document is a normalized Index.stats() dict (from "
+             "NBIndex/ShardedIndex/MutableIndex) rather than a metrics "
+             "document",
+    )
     args = parser.parse_args(argv)
     try:
         document = json.loads(Path(args.document).read_text())
     except (OSError, json.JSONDecodeError) as error:
         print(f"cannot read {args.document}: {error}", file=sys.stderr)
         return 2
+    if args.stats:
+        problems = validate_index_stats(document)
+        if args.require:
+            problems.append("--require applies to metrics documents only")
+        if problems:
+            for problem in problems:
+                print(f"INVALID {args.document}: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"OK {args.document}: index stats — {document['num_graphs']} "
+            f"graphs, {document['num_shards']} shard(s)"
+            + (", mutable" if document.get("delta") else "")
+        )
+        return 0
     problems = validate(document, args.require)
     if problems:
         for problem in problems:

@@ -36,6 +36,7 @@ from repro.graphs import (
     quartile_relevance,
 )
 from repro.index import NBIndex, OffLadderThetaError, QuerySession
+from repro.index.errors import ReadOnlyIndexError
 from repro.obs import Statable, observe
 from repro.resilience import BudgetExceeded, Deadline, RetryPolicy, deadline_scope
 
@@ -68,8 +69,10 @@ __all__ = [
     "BudgetExceeded",
     "RetryPolicy",
     "open_database",
+    "open_index",
     "load_index",
     "load_shards",
+    "ReadOnlyIndexError",
     "__version__",
 ]
 
@@ -86,6 +89,143 @@ def open_database(path) -> GraphDatabase:
     return load_database(path)
 
 
+def open_index(
+    path,
+    database,
+    distance=None,
+    *,
+    shards: bool | int | None = None,
+    mutable: bool = False,
+    journal=None,
+    workers: int | None = None,
+    seed: int = 0,
+):
+    """Open any saved index — single or sharded, read-only or mutable.
+
+    The one entry point behind which :func:`load_index` and
+    :func:`load_shards` are now deprecated shims.  Every return value
+    speaks the same ``Index`` protocol — ``query(query_fn, theta, k)``,
+    ``stats()``, ``insert``/``delete``/``update``/``compact`` — with the
+    mutation methods raising :class:`ReadOnlyIndexError` unless the index
+    was opened with ``mutable=True``.
+
+    ``path``
+        A single-index ``.npz`` artifact, a sharded bundle's
+        ``manifest.json``, or the bundle directory containing one.
+    ``database``
+        The :class:`GraphDatabase` the index was built over, or a path to
+        its JSONL file (opened via :func:`open_database`).
+    ``shards``
+        ``None`` (default) auto-detects from ``path``; ``True`` /
+        ``False`` force the sharded / single layout; an int additionally
+        requires the bundle to have exactly that many shards.
+    ``mutable``
+        ``True`` wraps the loaded base in a
+        :class:`~repro.delta.MutableIndex`: inserts land in an
+        exactly-scanned memtable, deletes tombstone, and
+        ``compact()`` absorbs the memtable online — with query answers
+        bit-identical to a from-scratch build at every point.
+    ``journal``
+        Path to a mutation journal (``mutable=True`` only).  Existing
+        records are replayed over the freshly opened database before the
+        base index loads — reopening a mutated deployment restores it
+        exactly; subsequent mutations append durably.
+    """
+    from pathlib import Path as _Path
+
+    if distance is None:
+        distance = StarDistance()
+    if journal is not None and not mutable:
+        raise ValueError(
+            "journal= is only meaningful with mutable=True — a read-only "
+            "open would silently ignore journaled mutations"
+        )
+    path = _Path(path)
+    if path.is_dir():
+        path = path / "manifest.json"
+    sharded = (
+        path.suffix == ".json" if shards is None else bool(shards)
+    )
+    if isinstance(database, (str, _Path)):
+        database = open_database(database)
+
+    replayed = None
+    if journal is not None:
+        from repro.delta import MutationJournal
+
+        replayed = MutationJournal(journal)
+        replayed.replay_into(database)
+
+    # The index may cover fewer graphs than the (journaled) live
+    # database — load it against the prefix snapshot it was built over.
+    if sharded:
+        from repro.shard.manifest import ShardManifest
+
+        indexed = ShardManifest.load(path).num_graphs
+    else:
+        from repro.index.persistence import indexed_graph_count
+
+        indexed = indexed_graph_count(path)
+    if indexed > len(database):
+        from repro.resilience import DatabaseMismatchError
+
+        raise DatabaseMismatchError(
+            f"{path}: index covers {indexed} graphs but the database "
+            f"has only {len(database)} — wrong database or missing "
+            f"journal"
+        )
+    base_db = (
+        database if indexed == len(database)
+        else database.subset(range(indexed))
+    )
+    if sharded:
+        base = ShardedIndex.load(path, base_db, distance, workers=workers)
+        if isinstance(shards, int) and not isinstance(shards, bool):
+            from repro.utils.validation import require
+
+            require(
+                base.num_shards == shards,
+                f"{path}: bundle has {base.num_shards} shards, "
+                f"caller required {shards}",
+            )
+    else:
+        from repro.index.persistence import load_index as _load_index
+
+        base = _load_index(path, base_db, distance, workers=workers)
+
+    if not mutable:
+        return base
+    from repro.delta import MutableIndex
+
+    return MutableIndex(
+        database,
+        base,
+        distance=distance,
+        workers=workers,
+        journal=replayed,
+        manifest_path=path if sharded else None,
+        index_path=None if sharded else path,
+        seed=seed,
+    )
+
+
+_deprecated_loader_warned: set[str] = set()
+
+
+def _warn_deprecated_loader(name: str) -> None:
+    if name in _deprecated_loader_warned:
+        return
+    _deprecated_loader_warned.add(name)
+    import warnings
+
+    warnings.warn(
+        f"repro.{name}() is deprecated; use repro.open_index(path, "
+        f"database) — it auto-detects the layout and can open mutable",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def load_index(
     path,
     database: GraphDatabase,
@@ -93,17 +233,11 @@ def load_index(
     *,
     workers: int | None = None,
 ) -> NBIndex:
-    """Load a saved :class:`NBIndex` (see :mod:`repro.index.persistence`).
-
-    ``distance`` defaults to :class:`StarDistance` — the metric every
-    shipped index is built with; pass the original metric for custom
-    builds.
-    """
-    from repro.index.persistence import load_index as _load_index
-
-    if distance is None:
-        distance = StarDistance()
-    return _load_index(path, database, distance, workers=workers)
+    """Deprecated shim: use :func:`open_index` (single-index layout)."""
+    _warn_deprecated_loader("load_index")
+    return open_index(
+        path, database, distance, shards=False, workers=workers
+    )
 
 
 def load_shards(
@@ -113,10 +247,8 @@ def load_shards(
     *,
     workers: int | None = None,
 ) -> ShardedIndex:
-    """Load a sharded NB-Index bundle from its manifest (see
-    :mod:`repro.shard`).  The sharded twin of :func:`load_index`; the
-    returned :class:`ShardedIndex` answers ``query()`` bit-identically to
-    a single index over the same database."""
-    if distance is None:
-        distance = StarDistance()
-    return ShardedIndex.load(path, database, distance, workers=workers)
+    """Deprecated shim: use :func:`open_index` (sharded layout)."""
+    _warn_deprecated_loader("load_shards")
+    return open_index(
+        path, database, distance, shards=True, workers=workers
+    )

@@ -129,8 +129,8 @@ def cmd_shard_build(args) -> int:
         seed=args.seed, workers=args.workers,
     )
     # Load the bundle back: a build that cannot be served is a failed build.
-    sharded = repro.load_shards(
-        manifest_path, database, distance, workers=args.workers
+    sharded = repro.open_index(
+        manifest_path, database, distance, shards=True, workers=args.workers
     )
     stats = sharded.stats()
     sizes = "/".join(str(s["num_graphs"]) for s in stats["shards"])
@@ -156,9 +156,25 @@ def cmd_query(args) -> int:
         print("query: --shards conflicts with --index/--method greedy",
               file=sys.stderr)
         return 2
+    if args.journal and not (args.shards or args.index):
+        print("query: --journal needs --index or --shards", file=sys.stderr)
+        return 2
     observation = _start_observation(args)
     database = repro.open_database(args.database)
     distance = StarDistance()
+
+    # Resolve the index before relevance/theta: a --journal open replays
+    # journaled mutations into the database, and both the relevance
+    # thresholds and any calibrated theta must see the mutated content.
+    index = None
+    if args.shards or args.index:
+        index = repro.open_index(
+            args.shards or args.index, database, distance,
+            shards=bool(args.shards),
+            mutable=bool(args.journal), journal=args.journal or None,
+            workers=args.workers, seed=args.seed,
+        )
+
     theta = args.theta
     if theta is None:
         theta = calibrate_theta(database, distance, quantile=0.05, rng=args.seed)
@@ -185,23 +201,15 @@ def cmd_query(args) -> int:
             result = baseline_greedy(
                 database, distance, q, theta, args.k, engine=engine
             )
-        elif args.shards:
-            sharded = repro.load_shards(
-                args.shards, database, distance, workers=args.workers
-            )
-            result = sharded.query(q, theta, args.k)
-            sharded.invalidate_pools()
         else:
-            if args.index:
-                index = repro.load_index(
-                    args.index, database, distance, workers=args.workers
-                )
-            else:
+            if index is None:
                 index = NBIndex.build(
                     database, distance, num_vantage_points=args.vantage_points,
                     branching=args.branching, seed=args.seed, workers=args.workers,
                 )
             result = index.query(q, theta, args.k)
+            if hasattr(index, "invalidate_pools"):
+                index.invalidate_pools()
 
     print(f"relevant graphs: {result.num_relevant}")
     print(f"pi(A) = {result.pi:.3f}   CR = {result.compression_ratio:.1f}")
@@ -248,18 +256,28 @@ def cmd_serve(args) -> int:
         reload_poll_s=args.reload_poll,
         metrics_path=args.metrics,
     )
+    if args.mutable and args.watch:
+        print("serve: --mutable conflicts with --watch (compaction owns "
+              "index swaps)", file=sys.stderr)
+        return 2
+    if args.journal and not args.mutable:
+        print("serve: --journal needs --mutable", file=sys.stderr)
+        return 2
     service = QueryService.open(
         args.database,
         index_path=args.index,
         shards_path=args.shards,
         config=config,
         workers=args.workers,
+        mutable=args.mutable,
+        journal=args.journal or None,
         seed=args.seed,
     ).start()
     print(
         f"serving {args.database} "
         f"({len(service.manager.database)} graphs, "
-        f"generation {service.manager.generation}); "
+        f"generation {service.manager.generation}"
+        f"{', mutable' if args.mutable else ''}); "
         f"workers={config.max_concurrency} queue={config.max_queue}",
         file=sys.stderr,
     )
@@ -496,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard-bundle manifest.json — run the query through "
                         "the scatter-gather coordinator (bit-identical "
                         "answers, conflicts with --index)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="mutation journal to replay over the database "
+                        "before querying (opens the index through the "
+                        "delta layer; needs --index or --shards)")
     p.add_argument("--vantage-points", type=int, default=20)
     p.add_argument("--branching", type=int, default=8)
     p.add_argument("--seed", type=int, default=7)
@@ -539,6 +561,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to let in-flight work finish on shutdown")
     p.add_argument("--breaker-cooldown", type=float, default=5.0, metavar="S",
                    help="open-breaker cooldown before the half-open probe")
+    p.add_argument("--mutable", action="store_true",
+                   help="open the index through the delta layer so the "
+                        "service accepts insert/delete/update/compact "
+                        "protocol ops (disables hot reload; compaction "
+                        "owns index swaps)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="durable mutation journal (with --mutable): "
+                        "existing records replay on startup, new "
+                        "mutations append with fsync")
     p.add_argument("--watch", default=None, metavar="PATH",
                    help="index artifact to watch for hot reload")
     p.add_argument("--reload-poll", type=float, default=1.0, metavar="S",

@@ -1,0 +1,21 @@
+"""Exception types for the mutation layer."""
+
+from __future__ import annotations
+
+from repro.resilience.errors import PersistenceError
+
+
+class JournalError(PersistenceError):
+    """The mutation journal is unusable: a record in the *middle* of the
+    file fails its checksum or cannot be parsed.  (A torn *final* record is
+    not an error — it is the expected shape of a crash mid-append and is
+    truncated away on replay.)"""
+
+
+class CompactionError(RuntimeError):
+    """Online compaction failed and was rolled back.
+
+    The previous generation keeps serving: the in-memory base index, the
+    memtable, and the on-disk manifest are all untouched (the new manifest
+    is the commit point and was never written, or its atomic rename never
+    happened).  The cause is chained as ``__cause__``."""

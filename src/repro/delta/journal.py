@@ -1,0 +1,206 @@
+"""The mutation journal: an append-only, per-record-checksummed log.
+
+Durability for the memtable.  The base database file (``graphs/io``
+JSONL) is never rewritten by mutations; instead every ``insert`` /
+``delete`` / ``update`` appends one self-checksummed JSON line here, and
+reopening an index replays the journal over the freshly loaded database —
+``database = base file + journal``, exactly.  Compaction does **not**
+truncate the journal (the base file still lacks the inserted graphs), so
+insert records are retained for the life of the journal; rewriting the
+base database and starting a fresh journal is an offline operation
+(``save_database`` round-trips tombstones for exactly this purpose).
+
+Crash safety is the LSM rule: each append is one line, flushed and
+fsynced before the mutation is acknowledged.  On replay a torn *final*
+line (the crash-mid-append signature) is truncated away with a warning
+and an obs counter; a bad record anywhere *before* the tail means real
+corruption and raises :class:`~repro.delta.errors.JournalError`.
+
+Line format (one JSON object per line)::
+
+    {"record": {"op": "insert", "gid": 7, "graph": {...},
+                "features": [...]}, "crc32": 1234}
+
+where ``crc32`` covers the canonical (sorted, compact) JSON of
+``record``.  The first line is a header record carrying the schema tag.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.delta.errors import JournalError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import graph_from_dict, graph_to_dict
+
+SCHEMA = "repro.mutation-journal/v1"
+
+
+def _encode(record: dict) -> str:
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode())
+    return json.dumps(
+        {"record": record, "crc32": crc}, separators=(",", ":")
+    )
+
+
+def _decode(line: str) -> dict | None:
+    """The record in one journal line, or ``None`` if the line is torn."""
+    try:
+        document = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(document, dict) or "record" not in document:
+        return None
+    record = document["record"]
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode()) != document.get("crc32"):
+        return None
+    return record
+
+
+class MutationJournal:
+    """Append-only mutation log bound to one file.
+
+    Opening reads and validates every existing record (repairing a torn
+    tail in place); :meth:`replay_into` then applies them to a freshly
+    loaded database.  Afterwards the journal stays open for appends —
+    every append is flushed and fsynced before it returns.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._records: list[dict] = []
+        self._load()
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Open / recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            header = {"op": "open", "schema": SCHEMA}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w", encoding="utf-8") as handle:
+                handle.write(_encode(header) + "\n")
+                handle.flush()
+            return
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.splitlines()
+        records: list[dict] = []
+        keep_bytes = 0
+        for i, line in enumerate(lines):
+            if not line.strip():
+                keep_bytes += len(line.encode()) + 1
+                continue
+            record = _decode(line)
+            if record is None:
+                if any(rest.strip() for rest in lines[i + 1:]):
+                    raise JournalError(
+                        f"{self.path}: journal record {i} fails its "
+                        f"checksum with intact records after it — the "
+                        f"file is corrupt, not torn"
+                    )
+                # Torn tail: the crash-mid-append signature.  Truncate it
+                # away; the un-acknowledged mutation never happened.
+                warnings.warn(
+                    f"{self.path}: truncating torn final journal record",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                obs.counter("delta.journal_truncated")
+                with self.path.open("r+", encoding="utf-8") as handle:
+                    handle.truncate(keep_bytes)
+                break
+            if not records:
+                if record.get("schema") != SCHEMA:
+                    raise JournalError(
+                        f"{self.path}: unsupported journal schema "
+                        f"{record.get('schema')!r} (this build reads "
+                        f"{SCHEMA!r})"
+                    )
+            records.append(record)
+            keep_bytes += len(line.encode()) + 1
+        if not records:
+            raise JournalError(f"{self.path}: journal has no header record")
+        self._records = records[1:]  # drop the header
+
+    def replay_into(self, database: GraphDatabase) -> dict:
+        """Apply every journaled mutation to ``database`` (which must be
+        the freshly loaded base file).  Returns replay counts."""
+        counts = {"inserts": 0, "deletes": 0, "updates": 0}
+        for record in self._records:
+            op = record["op"]
+            if op in ("insert", "update"):
+                graph = graph_from_dict(record["graph"])
+                gid = database.append(
+                    graph, np.asarray(record["features"], dtype=float)
+                )
+                if gid != int(record["gid"]):
+                    raise JournalError(
+                        f"{self.path}: replayed {op} landed at id {gid}, "
+                        f"journal says {record['gid']} — journal and "
+                        f"database file disagree"
+                    )
+                if op == "update":
+                    database.mark_deleted(int(record["old_gid"]))
+                counts["updates" if op == "update" else "inserts"] += 1
+            elif op == "delete":
+                database.mark_deleted(int(record["gid"]))
+                counts["deletes"] += 1
+            else:
+                raise JournalError(
+                    f"{self.path}: unknown journal op {op!r}"
+                )
+        return counts
+
+    # ------------------------------------------------------------------
+    # Appends (fsync before acknowledging)
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        import os
+
+        self._handle.write(_encode(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._records.append(record)
+        obs.counter("delta.journal_records")
+
+    def append_insert(self, gid: int, graph, features) -> None:
+        self._append({
+            "op": "insert",
+            "gid": int(gid),
+            "graph": graph_to_dict(graph),
+            "features": [float(x) for x in np.asarray(features).ravel()],
+        })
+
+    def append_delete(self, gid: int) -> None:
+        self._append({"op": "delete", "gid": int(gid)})
+
+    def append_update(self, old_gid: int, gid: int, graph, features) -> None:
+        self._append({
+            "op": "update",
+            "old_gid": int(old_gid),
+            "gid": int(gid),
+            "graph": graph_to_dict(graph),
+            "features": [float(x) for x in np.asarray(features).ravel()],
+        })
+
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        """Mutation records (header excluded)."""
+        return len(self._records)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"<MutationJournal {self.path} records={self.num_records}>"

@@ -1,0 +1,655 @@
+"""`MutableIndex`: live insert/delete/update over a served NB-Index.
+
+The LSM shape, specialized to the NB-Index:
+
+* **memtable** — graphs appended after the last compaction live only in
+  the database (ids ``indexed_count ..``); queries scan them *exactly*
+  through an :class:`~repro.delta.frontier.ExactFrontier` that sits next
+  to the indexed shard frontiers in the same coordinator loop.
+* **tombstones** — deletes are soft
+  (:meth:`~repro.graphs.database.GraphDatabase.mark_deleted`): the graph
+  stays addressable so every tree/embedding structure remains valid, but
+  ``relevant_indices`` masks it out of ``L_q``, which is the row every
+  coverage bitset is built from — a deleted graph can neither be an
+  answer nor be covered.
+* **updates** — ids are content-immutable (the engines' pair caches and
+  the shards' cached foreign coordinates key on them), so an update is
+  tombstone-old + insert-new and returns the *new* id.
+* **journal** — an optional
+  :class:`~repro.delta.journal.MutationJournal` makes mutations durable:
+  base file + journal replay = database, fsynced per record.
+* **compaction** — :meth:`compact` rebuilds the base over the merged
+  view (a prefix snapshot of the live database) *outside* the latch and
+  swaps it under the write side, bumping a generation counter.  For a
+  sharded base only the shards whose member sets changed are rebuilt —
+  unchanged shards keep their artifacts, byte checksums and loaded
+  objects (PR 5's hot-reload reuse, extended from "rebuild offline" to
+  "compact online").  The new manifest's atomic rename is the commit
+  point; any failure before it rolls back with the old generation still
+  serving (and the old manifest still on disk).
+
+Answer invariant (the acceptance gate): after any mutation sequence,
+with or without interleaved compactions, ``query()`` is bit-identical —
+ids, gains, order, coverage — to a from-scratch build over the mutated
+database.  The coordinator's canonical (max gain, min id) selection rule
+makes answers independent of how the database is split between indexed
+shards and the exactly-scanned memtable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.bitset import BitsetUniverse
+from repro.core.results import QueryResult, QueryStats
+from repro.delta.errors import CompactionError
+from repro.delta.frontier import ExactFrontier
+from repro.delta.journal import MutationJournal
+from repro.graphs.database import GraphDatabase
+from repro.index.errors import OffLadderThetaError
+from repro.index.nbindex import NBIndex
+from repro.index.persistence import save_index
+from repro.resilience import faults
+from repro.resilience.atomicio import unwrap_checksummed
+from repro.service.latch import ReadWriteLatch
+from repro.shard.coordinator import (
+    new_coord,
+    record_coordinator_obs,
+    run_greedy,
+)
+from repro.shard.frontier import ShardFrontier
+from repro.utils.validation import require, require_positive
+
+
+class MutableIndex:
+    """A live index: a base (NBIndex or ShardedIndex) plus a memtable.
+
+    Build one through :func:`repro.open_index` with ``mutable=True``.
+    All methods are thread-safe: mutations and compaction swaps take the
+    write side of an internal latch, queries the read side.
+    """
+
+    #: The facade's capability flag — read-only indexes carry ``False``.
+    mutable = True
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        base,
+        *,
+        distance,
+        workers: int | None = None,
+        journal: MutationJournal | None = None,
+        manifest_path: str | Path | None = None,
+        index_path: str | Path | None = None,
+        seed: int = 0,
+    ):
+        from repro.engine import DistanceEngine
+
+        self.database = database  # the LIVE database; grows in place
+        self.base = base
+        self.distance = distance
+        self.workers = workers
+        self.journal = journal
+        self.manifest_path = (
+            Path(manifest_path) if manifest_path is not None else None
+        )
+        self.index_path = Path(index_path) if index_path is not None else None
+        self.seed = int(seed)
+        self.latch = ReadWriteLatch()
+        self.generation = 0
+        self.compactions = 0
+        self.compaction_failures = 0
+        #: Graphs with ids below this are covered by the base index;
+        #: everything at or above is memtable, scanned exactly.
+        self.indexed_count = self._base_count(base)
+        require(
+            self.indexed_count <= len(database),
+            f"base covers {self.indexed_count} graphs but the database "
+            f"has only {len(database)}",
+        )
+        # The mutation layer's own global engine: plain (no vantage
+        # embedding attached — memtable graphs have no coordinates), over
+        # the live graph list, so appended graphs are immediately
+        # reachable.  Shard engines keep speaking local ids; this one
+        # speaks global ids only.
+        self.engine = DistanceEngine(
+            distance, workers=workers, graphs=database.graphs
+        )
+
+    @staticmethod
+    def _base_count(base) -> int:
+        if hasattr(base, "manifest"):
+            return int(base.manifest.num_graphs)
+        return len(base.database)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ladder(self):
+        return self.base.ladder
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self.database) - self.indexed_count
+
+    @property
+    def tombstones(self) -> int:
+        return len(self.database.deleted)
+
+    @property
+    def num_shards(self) -> int:
+        return getattr(self.base, "num_shards", 1)
+
+    @property
+    def tree_nodes(self) -> int:
+        if hasattr(self.base, "tree_nodes"):
+            return self.base.tree_nodes
+        return self.base.tree.num_nodes
+
+    def stats(self) -> dict:
+        """Statable protocol: the base's normalized stats plus a
+        ``delta`` section describing the mutation layer."""
+        with self.latch.read():
+            out = dict(self.base.stats())
+            out["num_graphs"] = len(self.database)
+            out["distance_calls"] = (
+                out.get("distance_calls", 0) + self.engine.calls
+            )
+            out["mutable"] = True
+            out["delta"] = {
+                "memtable_size": self.memtable_size,
+                "tombstones": self.tombstones,
+                "indexed_graphs": self.indexed_count,
+                "generation": self.generation,
+                "compactions": self.compactions,
+                "compaction_failures": self.compaction_failures,
+                "journal_records": (
+                    self.journal.num_records
+                    if self.journal is not None else 0
+                ),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutations (write latch; journaled before acknowledging)
+    # ------------------------------------------------------------------
+    def insert(self, graph, feature_row) -> int:
+        """Append one graph; it is queryable immediately (memtable).
+        Returns its global id."""
+        with self.latch.write():
+            gid = self.database.append(graph, feature_row)
+            self.engine.invalidate_pool()
+            if self.journal is not None:
+                self.journal.append_insert(gid, self.database[gid], feature_row)
+        obs.counter("delta.inserts")
+        self._memtable_gauges()
+        return gid
+
+    def delete(self, gid: int) -> bool:
+        """Tombstone one graph.  Returns ``False`` if it was already
+        deleted (idempotent), ``True`` otherwise."""
+        with self.latch.write():
+            require(
+                0 <= int(gid) < len(self.database),
+                f"gid {gid} outside 0..{len(self.database) - 1}",
+            )
+            if self.database.is_deleted(gid):
+                return False
+            self.database.mark_deleted(gid)
+            if self.journal is not None:
+                self.journal.append_delete(gid)
+        obs.counter("delta.deletes")
+        self._memtable_gauges()
+        return True
+
+    def update(self, gid: int, graph, feature_row) -> int:
+        """Replace one graph: tombstone ``gid``, insert the replacement.
+
+        Returns the replacement's *new* id — ids are content-immutable
+        (engine pair caches and cached shard coordinates key on them), so
+        an update never rewrites a graph in place."""
+        with self.latch.write():
+            require(
+                0 <= int(gid) < len(self.database),
+                f"gid {gid} outside 0..{len(self.database) - 1}",
+            )
+            require(
+                not self.database.is_deleted(gid),
+                f"gid {gid} is already deleted",
+            )
+            new_id = self.database.append(graph, feature_row)
+            self.database.mark_deleted(gid)
+            self.engine.invalidate_pool()
+            if self.journal is not None:
+                self.journal.append_update(
+                    gid, new_id, self.database[new_id], feature_row
+                )
+        obs.counter("delta.updates")
+        self._memtable_gauges()
+        return new_id
+
+    def _memtable_gauges(self) -> None:
+        if obs.enabled():
+            obs.gauge("delta.memtable_size", self.memtable_size)
+            obs.gauge("delta.tombstones", self.tombstones)
+            obs.gauge("delta.generation", self.generation)
+
+    # ------------------------------------------------------------------
+    # Queries (read latch for the whole query)
+    # ------------------------------------------------------------------
+    def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
+        unknown = set(kwargs) - NBIndex._QUERY_KWARGS
+        if unknown:
+            raise TypeError(
+                f"MutableIndex.query() got unexpected keyword arguments "
+                f"{sorted(unknown)}; accepted: {sorted(NBIndex._QUERY_KWARGS)}"
+            )
+        with self.latch.read():
+            return MutableQuerySession(self, query_fn).query(theta, k, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Compaction (build outside the latch, swap under it)
+    # ------------------------------------------------------------------
+    def compact(self) -> dict:
+        """Absorb the memtable into the base index, one shard at a time.
+
+        Concurrent queries keep serving the old generation while the new
+        one builds; concurrent mutations keep landing (anything appended
+        after the snapshot stays in the memtable).  On any failure the
+        old generation — in memory *and* on disk — keeps serving and
+        :class:`~repro.delta.errors.CompactionError` is raised; the
+        rollback is reported once via ``delta.compaction_rollbacks``.
+        """
+        with self.latch.read():
+            base = self.base
+            n1 = len(self.database)
+            absorbed = n1 - self.indexed_count
+            if not absorbed:
+                return {
+                    "generation": self.generation,
+                    "absorbed": 0,
+                    "rebuilt_shards": [],
+                    "reused_shards": self.num_shards,
+                    "skipped": True,
+                }
+            # Prefix snapshot: ids 0..n1-1, content-identical to the live
+            # database (appends only ever extend, never rewrite), so the
+            # new base's structures line up with live global ids.
+            snapshot = self.database.subset(range(n1))
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "delta.compact", absorbed=absorbed,
+                generation=self.generation + 1,
+            ):
+                faults.maybe_slow("delta.compact")
+                if hasattr(base, "manifest"):
+                    new_base, report = self._compact_sharded(
+                        base, snapshot, n1
+                    )
+                else:
+                    new_base, report = self._compact_single(
+                        base, snapshot, n1
+                    )
+        except Exception as error:
+            self.compaction_failures += 1
+            obs.counter("delta.compaction_failures")
+            obs.counter("delta.compaction_rollbacks")
+            raise CompactionError(
+                f"compaction failed and was rolled back — generation "
+                f"{self.generation} still serving: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        with self.latch.write():
+            self.base = new_base
+            self.indexed_count = n1
+            self.generation += 1
+            self.compactions += 1
+        obs.counter("delta.compactions")
+        obs.observe_time(
+            "delta.compact_seconds", time.perf_counter() - started
+        )
+        self._memtable_gauges()
+        report.update(
+            generation=self.generation, absorbed=absorbed,
+            seconds=round(time.perf_counter() - started, 6),
+        )
+        return report
+
+    def _compact_single(self, base: NBIndex, snapshot, n1: int):
+        """Full rebuild — a single NBIndex has exactly one 'shard'."""
+        new_index = NBIndex.build(
+            snapshot,
+            self.distance,
+            num_vantage_points=min(
+                base.embedding.num_vantage_points, len(snapshot)
+            ),
+            branching=base.tree.branching,
+            thresholds=base.ladder,
+            seed=np.random.default_rng(self.seed),
+            workers=self.workers,
+        )
+        if self.index_path is not None:
+            # Stage → verify → atomic rename, so a torn write can never
+            # replace the serving artifact.
+            staging = self.index_path.with_name(
+                self.index_path.name + f".gen{self.generation + 1:04d}"
+            )
+            save_index(new_index, staging)
+            unwrap_checksummed(staging.read_bytes(), source=str(staging))
+            faults.maybe_abort_stage("delta.compact.commit")
+            os.replace(staging, self.index_path)
+        else:
+            faults.maybe_abort_stage("delta.compact.commit")
+        return new_index, {"rebuilt_shards": [0], "reused_shards": 0}
+
+    def _compact_sharded(self, base, snapshot, n1: int):
+        """Rebuild only the shards whose member sets changed.
+
+        Existing graphs keep their shard; memtable graphs are routed by
+        the same structure hash the hash partitioner uses (stable across
+        compactions).  Unchanged shards keep their artifacts, checksums
+        and loaded index objects."""
+        from repro.index.pivec import ThresholdLadder
+        from repro.shard.manifest import (
+            ShardEntry,
+            ShardManifest,
+            database_checksum,
+        )
+        from repro.shard.sharded import ShardedIndex
+
+        manifest = base.manifest
+        n0 = manifest.num_graphs
+        num_shards = manifest.num_shards
+        generation = self.generation + 1
+        manifest_path = self.manifest_path or base.path
+        require(
+            manifest_path is not None,
+            "sharded compaction needs the manifest path",
+        )
+        out_dir = Path(manifest_path).parent
+
+        digests = np.array(
+            [
+                zlib.crc32(repr(snapshot[g].canonical_form()).encode())
+                for g in range(n0, n1)
+            ],
+            dtype=np.uint64,
+        )
+        assignments = np.concatenate([
+            manifest.assignments,
+            (digests % np.uint64(num_shards)).astype(np.int64),
+        ])
+        changed = sorted({int(a) for a in assignments[n0:]})
+
+        ladder = ThresholdLadder(manifest.ladder)
+        root_seed = manifest.seed if manifest.seed is not None else self.seed
+        shard_seeds = np.random.SeedSequence(root_seed).spawn(num_shards)
+        entries: list[ShardEntry] = []
+        shards: list[NBIndex] = []
+        for shard_id in range(num_shards):
+            if shard_id not in changed:
+                entries.append(manifest.shards[shard_id])
+                shards.append(base.shards[shard_id])
+                continue
+            members = np.flatnonzero(assignments == shard_id)
+            sub = snapshot.subset([int(i) for i in members])
+            index = NBIndex.build(
+                sub,
+                self.distance,
+                num_vantage_points=min(
+                    int(manifest.build.get("num_vantage_points", 20)),
+                    len(sub),
+                ),
+                branching=int(manifest.build.get("branching", 8)),
+                thresholds=ladder,
+                seed=np.random.default_rng(shard_seeds[shard_id]),
+                workers=self.workers,
+            )
+            artifact = out_dir / (
+                f"shard-{shard_id:03d}-gen{generation:04d}.npz"
+            )
+            save_index(index, artifact)
+            raw = artifact.read_bytes()
+            # Verify before the manifest references it: a torn artifact
+            # write must fail the compaction, not the next load.
+            unwrap_checksummed(raw, source=str(artifact))
+            if index.engine is not None:
+                index.engine.invalidate_pool()
+            entries.append(ShardEntry(
+                shard_id=shard_id,
+                path=artifact.name,
+                checksum=zlib.crc32(raw),
+                num_graphs=len(sub),
+            ))
+            shards.append(index)
+            obs.counter("delta.shard_rebuilds")
+            faults.maybe_abort_stage("delta.compact.shard")
+
+        faults.maybe_abort_stage("delta.compact.commit")
+        new_manifest = ShardManifest(
+            num_shards=num_shards,
+            num_graphs=n1,
+            partitioner=manifest.partitioner,
+            seed=manifest.seed,
+            ladder=manifest.ladder,
+            assignments=assignments,
+            database_checksum=database_checksum(snapshot),
+            shards=tuple(entries),
+            build={
+                **manifest.build,
+                "generation": generation,
+                "compacted": True,
+            },
+        )
+        new_manifest.save(manifest_path)  # atomic rename = commit point
+
+        from repro.engine import DistanceEngine
+
+        new_base = ShardedIndex(
+            snapshot,
+            self.distance,
+            shards=shards,
+            manifest=new_manifest,
+            engine=DistanceEngine(
+                self.distance, workers=self.workers, graphs=snapshot.graphs
+            ),
+            path=Path(manifest_path),
+            reused_shards=num_shards - len(changed),
+        )
+        # Post-commit, best effort: superseded generation artifacts are
+        # unreferenced by the new manifest and safe to drop.
+        old_names = {entry.path for entry in manifest.shards}
+        new_names = {entry.path for entry in new_manifest.shards}
+        for name in old_names - new_names:
+            try:
+                (out_dir / name).unlink()
+            except OSError:  # pragma: no cover - cleanup is advisory
+                pass
+        return new_base, {
+            "rebuilt_shards": changed,
+            "reused_shards": num_shards - len(changed),
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.engine.invalidate_pool()
+        if hasattr(self.base, "invalidate_pools"):
+            self.base.invalidate_pools()
+        elif getattr(self.base, "engine", None) is not None:
+            self.base.engine.invalidate_pool()
+        if self.journal is not None:
+            self.journal.close()
+
+    invalidate_pools = close
+
+    def __repr__(self) -> str:
+        return (
+            f"<MutableIndex n={len(self.database)} "
+            f"indexed={self.indexed_count} memtable={self.memtable_size} "
+            f"tombstones={self.tombstones} generation={self.generation}>"
+        )
+
+
+class MutableQuerySession:
+    """Per-relevance-function state for queries over base + memtable.
+
+    Mirrors :class:`~repro.shard.coordinator.ShardedQuerySession`; one
+    extra frontier — the exactly-scanned delta — joins the pull loop."""
+
+    def __init__(self, mutable: MutableIndex, query_fn):
+        self.mutable = mutable
+        self.query_fn = query_fn
+        started = time.perf_counter()
+        self.relevant = mutable.database.relevant_indices(query_fn)
+        self.universe = BitsetUniverse(self.relevant)
+        self.init_seconds = time.perf_counter() - started
+        obs.observe_time("delta.session_init_seconds", self.init_seconds)
+
+    def query(
+        self,
+        theta: float,
+        k: int,
+        stop_on_zero_gain: bool = False,
+        enable_updates: bool = True,
+        deadline=None,
+    ) -> QueryResult:
+        require_positive(theta, "theta")
+        require_positive(k, "k")
+        from repro.resilience.deadline import current_deadline, deadline_scope
+
+        mutable = self.mutable
+        base = mutable.base
+        ladder_index = mutable.ladder.index_for(theta)
+        if ladder_index is None:
+            obs.counter("index.offladder_theta")
+            raise OffLadderThetaError(theta, mutable.ladder)
+
+        stats = QueryStats(init_seconds=self.init_seconds)
+        calls_before = self._total_calls()
+        effective_deadline = (
+            deadline if deadline is not None else current_deadline()
+        )
+        degradations_before = (
+            dict(effective_deadline.degradations)
+            if effective_deadline is not None else {}
+        )
+        indexed = mutable.indexed_count
+        base_rel = self.relevant[self.relevant < indexed]
+        delta_rel = self.relevant[self.relevant >= indexed]
+
+        with deadline_scope(deadline), obs.span(
+            "delta.query", theta=theta, k=k,
+            memtable=int(delta_rel.size),
+        ) as query_span:
+            started = time.perf_counter()
+            if hasattr(base, "shards"):
+                frontiers = [
+                    ShardFrontier(
+                        shard_id=s,
+                        index=base.shards[s],
+                        global_ids=base.global_ids[s],
+                        relevant_global=base_rel,
+                        global_engine=mutable.engine,
+                        theta=theta,
+                        ladder_index=ladder_index,
+                        stats=stats,
+                        universe=self.universe,
+                    )
+                    for s in range(base.num_shards)
+                ]
+                shard_of = base.shard_of
+            else:
+                frontiers = [
+                    ShardFrontier(
+                        shard_id=0,
+                        index=base,
+                        global_ids=np.arange(indexed, dtype=np.int64),
+                        relevant_global=base_rel,
+                        global_engine=mutable.engine,
+                        theta=theta,
+                        ladder_index=ladder_index,
+                        stats=stats,
+                        universe=self.universe,
+                    )
+                ]
+                shard_of = np.zeros(indexed, dtype=np.int64)
+            delta_frontier = ExactFrontier(
+                delta_rel, self.universe, mutable.engine, theta, stats
+            )
+            frontiers.append(delta_frontier)
+            stats.init_seconds += time.perf_counter() - started
+
+            coord = new_coord(len(frontiers))
+
+            def home_of(gid: int):
+                if gid >= indexed:
+                    return delta_frontier
+                return frontiers[int(shard_of[gid])]
+
+            answer, gains, covered = run_greedy(
+                frontiers,
+                self.universe,
+                home_of,
+                k,
+                int(self.relevant.size),
+                stop_on_zero_gain=stop_on_zero_gain,
+                enable_updates=enable_updates,
+                stats=stats,
+                coord=coord,
+            )
+            coord["memtable_relevant"] = int(delta_rel.size)
+            stats.distance_calls = self._total_calls() - calls_before
+            stats.coordinator = coord
+            if effective_deadline is not None:
+                delta = {
+                    kind: count - degradations_before.get(kind, 0)
+                    for kind, count in effective_deadline.degradations.items()
+                    if count > degradations_before.get(kind, 0)
+                }
+                stats.degradations = delta
+                stats.degradation_events = sum(delta.values())
+                stats.degraded = bool(delta)
+                if stats.degraded:
+                    obs.counter("query.degraded")
+            if obs.enabled():
+                obs.counter("delta.query.count")
+                record_coordinator_obs(coord, stats)
+            query_span.set(
+                answer_size=len(answer),
+                degraded=stats.degraded,
+                scatter_resolves=coord["scatter_resolves"],
+            )
+        return QueryResult(
+            answer=answer,
+            gains=gains,
+            covered=self.universe.decode_frozenset(covered),
+            num_relevant=int(self.relevant.size),
+            theta=theta,
+            stats=stats,
+        )
+
+    def _total_calls(self) -> int:
+        mutable = self.mutable
+        base = mutable.base
+        total = mutable.engine.calls
+        if hasattr(base, "shards"):
+            total += base.engine.calls
+            total += sum(shard._counting.calls for shard in base.shards)
+        else:
+            total += base._counting.calls
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<MutableQuerySession relevant={self.relevant.size} "
+            f"memtable={self.mutable.memtable_size}>"
+        )

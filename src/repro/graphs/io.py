@@ -53,6 +53,12 @@ def save_database(database: GraphDatabase, path: str | Path) -> None:
             "num_graphs": len(database),
             "num_features": database.num_features,
         }
+        deleted = sorted(int(g) for g in database.deleted)
+        if deleted:
+            # Tombstones round-trip so a mutated database saved to disk
+            # stays bit-identical to its live twin (additive key: files
+            # without it load exactly as before).
+            header["deleted"] = deleted
         fh.write(json.dumps(header) + "\n")
         for i, g in enumerate(database):
             record = graph_to_dict(g)
@@ -84,4 +90,7 @@ def load_database(path: str | Path) -> GraphDatabase:
         raise ValueError(
             f"{path} declares {header['num_graphs']} graphs but has {len(graphs)}"
         )
-    return GraphDatabase(graphs, np.asarray(features, dtype=float))
+    database = GraphDatabase(graphs, np.asarray(features, dtype=float))
+    for gid in header.get("deleted", ()):
+        database.mark_deleted(int(gid))
+    return database

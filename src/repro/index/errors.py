@@ -8,6 +8,25 @@ index cannot answer honestly as asked.
 from __future__ import annotations
 
 
+class ReadOnlyIndexError(TypeError):
+    """A mutation method was called on an immutable index.
+
+    ``NBIndex`` and ``ShardedIndex`` objects opened the ordinary way are
+    read-only views of an offline build; mutations need the delta layer.
+    Reopen through :func:`repro.open_index` with ``mutable=True`` to get
+    a :class:`~repro.delta.MutableIndex` that accepts them.
+    """
+
+    def __init__(self, operation: str, index_kind: str):
+        self.operation = operation
+        self.index_kind = index_kind
+        super().__init__(
+            f"{index_kind}.{operation}() needs a mutable index; this one "
+            f"is read-only — reopen it with "
+            f"repro.open_index(path, mutable=True)"
+        )
+
+
 class OffLadderThetaError(ValueError):
     """θ lies above every indexed π̂ rung.
 

@@ -48,7 +48,7 @@ from repro.bitset import BitsetUniverse, kernel as bitset_kernel
 from repro.core.results import QueryResult, QueryStats
 from repro.ged.metric import CountingDistance, GraphDistanceFn
 from repro.graphs.database import GraphDatabase
-from repro.index.errors import OffLadderThetaError
+from repro.index.errors import OffLadderThetaError, ReadOnlyIndexError
 from repro.index.nbtree import NBTree, NBTreeNode
 from repro.index.pivec import ThresholdLadder, choose_thresholds
 from repro.index.vantage import VantageEmbedding, select_vantage_points
@@ -270,6 +270,7 @@ class NBIndex:
         """
         out = {
             "num_graphs": len(self.database),
+            "num_shards": 1,  # normalized schema: a plain index is S=1
             "num_vantage_points": self.embedding.num_vantage_points,
             "branching": self.tree.branching,
             "tree_nodes": self.tree.num_nodes,
@@ -374,6 +375,21 @@ class NBIndex:
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
+    #: Index-protocol capability flag: a plain NBIndex is a read-only
+    #: view of an offline build (the legacy in-place :meth:`insert`
+    #: notwithstanding) — open with ``repro.open_index(path,
+    #: mutable=True)`` for the journaled delta layer.
+    mutable = False
+
+    def delete(self, gid: int) -> bool:
+        raise ReadOnlyIndexError("delete", "NBIndex")
+
+    def update(self, gid: int, graph, feature_row) -> int:
+        raise ReadOnlyIndexError("update", "NBIndex")
+
+    def compact(self) -> dict:
+        raise ReadOnlyIndexError("compact", "NBIndex")
+
     def insert(self, graph, feature_row) -> int:
         """Add one graph to the database and the index; returns its id.
 

@@ -174,6 +174,23 @@ def save_index(index: NBIndex, path: str | Path) -> None:
     write_checksummed(Path(path), buffer.getvalue())
 
 
+def indexed_graph_count(path: str | Path) -> int:
+    """How many database graphs a saved index covers, without loading it.
+
+    The stored fingerprint has one crc per indexed graph, so its length
+    *is* the coverage.  The mutable open path uses this to load a grown
+    database's index against the right prefix snapshot (the live database
+    may have journaled inserts past what the index has absorbed)."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[: len(_ZIP_MAGIC)] == _ZIP_MAGIC:
+        payload = raw
+    else:
+        payload = unwrap_checksummed(raw, source=str(path))
+    with np.load(io.BytesIO(payload)) as data:
+        return int(data["fingerprint"].shape[0])
+
+
 def load_index(
     path: str | Path,
     database: GraphDatabase,

@@ -2,7 +2,7 @@
 
 Everything below :class:`QueryService` exists to keep one promise: a
 long-lived process over :func:`repro.open_database` /
-:func:`repro.load_index` / ``NBIndex.query`` that *stays up* — under
+:func:`repro.open_index` / ``NBIndex.query`` that *stays up* — under
 overload (bounded admission + load shedding), under backend trouble
 (circuit breaker degrading to bound-only answers), under index swaps
 (validated, latched hot reload with rollback), and under poisoned

@@ -11,6 +11,18 @@ over stdin/stdout pipes and TCP sockets, and a shell with ``echo`` and
     {"id": 4, "op": "stats"}
     {"id": 5, "op": "reload", "path": "new-index.npz"}
 
+Mutation ops are *versioned* — they carry ``"v": 1`` (optional today;
+any other version is rejected with ``invalid_request`` so the wire can
+evolve without silent misreads) and need a deployment opened with
+``--mutable``; on a read-only deployment they come back as typed
+``invalid_request`` rejections::
+
+    {"id": 6, "op": "insert", "v": 1, "graph": {...}, "features": [...]}
+    {"id": 7, "op": "delete", "v": 1, "gid": 42}
+    {"id": 8, "op": "update", "v": 1, "gid": 42, "graph": {...},
+     "features": [...]}
+    {"id": 9, "op": "compact", "v": 1}
+
 Responses echo the ``id`` and carry either ``result`` or a typed
 ``error``::
 
@@ -33,7 +45,16 @@ from dataclasses import dataclass, field
 from repro.service.errors import InvalidRequest, ServiceError
 
 #: Ops the service understands.
-OPS = frozenset({"query", "ping", "stats", "reload"})
+OPS = frozenset({
+    "query", "ping", "stats", "reload",
+    "insert", "delete", "update", "compact",
+})
+
+#: Ops that mutate the index (need a ``mutable=True`` deployment).
+MUTATION_OPS = frozenset({"insert", "delete", "update", "compact"})
+
+#: The mutation-protocol version this build speaks.
+PROTOCOL_VERSION = 1
 
 #: Default cap on one request line; oversized requests are shed at parse.
 MAX_REQUEST_BYTES = 64 * 1024
@@ -52,6 +73,10 @@ class QueryRequest:
     seed: int | None = None
     timeout_ms: float | None = None
     path: str | None = None  # reload target (defaults to the watch path)
+    v: int = PROTOCOL_VERSION  # mutation-protocol version
+    gid: int | None = None  # delete/update target
+    graph: dict | None = None  # insert/update payload
+    features: tuple[float, ...] | None = None  # insert/update payload
     extra: dict = field(default_factory=dict, compare=False)
 
 
@@ -101,9 +126,22 @@ def parse_request(line: str, *, max_bytes: int = MAX_REQUEST_BYTES) -> QueryRequ
     if path is not None and not isinstance(path, str):
         raise InvalidRequest("'path' must be a string")
 
+    version = payload.get("v", PROTOCOL_VERSION)
+    if op in MUTATION_OPS:
+        if (
+            isinstance(version, bool)
+            or not isinstance(version, int)
+            or version != PROTOCOL_VERSION
+        ):
+            raise InvalidRequest(
+                f"unsupported mutation-protocol version {version!r}; this "
+                f"build speaks v{PROTOCOL_VERSION}"
+            )
+    gid, graph, features = _validate_mutation_fields(op, payload)
+
     known = {
         "id", "op", "theta", "k", "quantile", "dims", "seed",
-        "timeout_ms", "path",
+        "timeout_ms", "path", "v", "gid", "graph", "features",
     }
     extra = {key: payload[key] for key in payload.keys() - known}
     return QueryRequest(
@@ -116,8 +154,40 @@ def parse_request(line: str, *, max_bytes: int = MAX_REQUEST_BYTES) -> QueryRequ
         seed=None if seed is None else int(seed),
         timeout_ms=timeout_ms,
         path=path,
+        v=PROTOCOL_VERSION if not isinstance(version, int) else int(version),
+        gid=gid,
+        graph=graph,
+        features=features,
         extra=extra,
     )
+
+
+def _validate_mutation_fields(op: str, payload: dict):
+    """Validate the op-specific mutation fields before admission."""
+    gid = payload.get("gid")
+    graph = payload.get("graph")
+    features = payload.get("features")
+    if op in ("delete", "update"):
+        if isinstance(gid, bool) or not isinstance(gid, int) or gid < 0:
+            raise InvalidRequest(f"{op} needs a non-negative integer 'gid'")
+    if op in ("insert", "update"):
+        if not isinstance(graph, dict):
+            raise InvalidRequest(
+                f"{op} needs a 'graph' object (see repro.graphs.io "
+                f"graph_to_dict for the shape)"
+            )
+        if not isinstance(features, list) or not all(
+            isinstance(x, (int, float)) and not isinstance(x, bool)
+            for x in features
+        ):
+            raise InvalidRequest(f"{op} needs a 'features' list of numbers")
+        features = tuple(float(x) for x in features)
+    else:
+        graph = None
+        features = None
+    if op not in ("delete", "update"):
+        gid = None
+    return gid, graph, features
 
 
 def _number(payload: dict, key: str) -> float | None:

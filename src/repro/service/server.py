@@ -1,7 +1,7 @@
 """The long-lived concurrent query service.
 
 :class:`QueryService` turns the in-process trio —
-:func:`repro.open_database` / :func:`repro.load_index` /
+:func:`repro.open_database` / :func:`repro.open_index` /
 :meth:`NBIndex.query <repro.index.NBIndex.query>` — into a serving
 boundary that survives overload, poisoned queries and index swaps:
 
@@ -122,15 +122,25 @@ class QueryService:
         distance=None,
         config: ServiceConfig | None = None,
         workers: int | None = None,
+        mutable: bool = False,
+        journal=None,
         **build_kwargs,
     ) -> "QueryService":
         """The CLI path: open the database, load or build the index.
 
-        With ``index_path`` the artifact is loaded through the typed
-        loaders (and becomes the default hot-reload watch target); with
-        ``shards_path`` a shard-manifest bundle is loaded instead and the
-        service runs the scatter-gather coordinator; without either the
-        index is built in-process with ``build_kwargs``.
+        With ``index_path`` the artifact is loaded through
+        :func:`repro.open_index` (and becomes the default hot-reload
+        watch target); with ``shards_path`` a shard-manifest bundle is
+        loaded instead and the service runs the scatter-gather
+        coordinator; without either the index is built in-process with
+        ``build_kwargs``.
+
+        ``mutable=True`` opens the artifact through the delta layer, so
+        the deployment accepts ``insert``/``delete``/``update``/
+        ``compact`` protocol ops; ``journal`` (mutable only) replays and
+        then appends a durable mutation journal.  A mutable deployment
+        never runs the reload watcher — the delta layer owns the index
+        lifecycle, and ``compact`` is the sanctioned swap path.
         """
         import repro
 
@@ -143,24 +153,36 @@ class QueryService:
             distance = repro.StarDistance()
         if config is None:
             config = ServiceConfig()
-        if shards_path is not None:
-            from repro.shard import ShardedIndex
-
-            index = ShardedIndex.load(
-                shards_path, database, distance, workers=workers
+        artifact = shards_path if shards_path is not None else index_path
+        if artifact is not None:
+            index = repro.open_index(
+                artifact, database, distance,
+                shards=shards_path is not None,
+                mutable=mutable, journal=journal, workers=workers,
+                seed=int(build_kwargs.get("seed", 0) or 0),
             )
-            if config.watch is None:
-                config.watch = str(shards_path)
-        elif index_path is not None:
-            index = repro.load_index(
-                index_path, database, distance, workers=workers
-            )
-            if config.watch is None:
-                config.watch = str(index_path)
+            if config.watch is None and not mutable:
+                config.watch = str(artifact)
         else:
+            require(
+                journal is None,
+                "journal= needs a saved artifact (index_path or "
+                "shards_path) to anchor the base generation",
+            )
             index = repro.NBIndex.build(
                 database, distance, workers=workers, **build_kwargs
             )
+            if mutable:
+                from repro.delta import MutableIndex
+
+                index = MutableIndex(
+                    database, index, distance=distance, workers=workers
+                )
+        require(
+            not (mutable and config.watch is not None),
+            "a mutable deployment cannot also hot-reload from a watch "
+            "path; compaction owns index swaps",
+        )
         return cls(index, config=config, distance=distance, workers=workers)
 
     # ------------------------------------------------------------------
@@ -271,7 +293,11 @@ class QueryService:
             "tree_nodes": tree_nodes,
             "generation": self.manager.generation,
         }
-        if hasattr(index, "num_shards"):
+        index_stats["mutable"] = bool(getattr(index, "mutable", False))
+        if index_stats["mutable"]:
+            index_stats["num_shards"] = index.num_shards
+            index_stats["delta"] = index.stats()["delta"]
+        elif hasattr(index, "num_shards"):
             index_stats["num_shards"] = index.num_shards
             index_stats["partitioner"] = index.manifest.partitioner
             index_stats["reused_shards"] = index.reused_shards
@@ -333,7 +359,81 @@ class QueryService:
                 )
             generation = self.manager.reload(path)  # ReloadFailed is typed
             return protocol.ok_response(request.id, {"generation": generation})
+        if request.op in protocol.MUTATION_OPS:
+            return self._execute_mutation(ticket)
         return self._execute_query(ticket)
+
+    def _execute_mutation(self, ticket: Ticket) -> dict:
+        """Apply one mutation op through the delta layer.
+
+        The manager's read side pins the index object; the MutableIndex's
+        own writer-preferring latch serializes the mutation against
+        concurrent queries and compaction swaps."""
+        request = ticket.request
+        with self.manager.acquire() as index:
+            if not getattr(index, "mutable", False):
+                raise InvalidRequest(
+                    f"op {request.op!r} needs a mutable deployment; this "
+                    f"service is read-only (start it with --mutable)"
+                )
+            if request.op == "compact":
+                from repro.delta import CompactionError
+
+                try:
+                    with obs.timer("service.compact_seconds"):
+                        report = index.compact()
+                except CompactionError as error:
+                    raise QueryFailed(
+                        str(error), exception_type="CompactionError"
+                    ) from error
+                obs.counter("service.compacts")
+                return protocol.ok_response(request.id, report)
+            if request.op == "delete":
+                try:
+                    deleted = index.delete(request.gid)
+                except ValueError as error:  # gid out of range
+                    raise InvalidRequest(str(error)) from error
+                obs.counter("service.mutations")
+                return protocol.ok_response(request.id, {
+                    "deleted": bool(deleted),
+                    "tombstones": index.tombstones,
+                })
+            graph, features = self._decode_graph_payload(request, index)
+            if request.op == "insert":
+                gid = index.insert(graph, features)
+            else:  # update
+                try:
+                    gid = index.update(request.gid, graph, features)
+                except ValueError as error:
+                    raise InvalidRequest(str(error)) from error
+            obs.counter("service.mutations")
+            return protocol.ok_response(request.id, {
+                "gid": int(gid),
+                "memtable_size": index.memtable_size,
+                "generation": index.generation,
+            })
+
+    @staticmethod
+    def _decode_graph_payload(request: QueryRequest, index):
+        """Wire graph/features → validated in-memory objects."""
+        import numpy as np
+
+        from repro.graphs.io import graph_from_dict
+
+        try:
+            graph = graph_from_dict(request.graph)
+        except (KeyError, TypeError, ValueError) as error:
+            raise InvalidRequest(
+                f"malformed 'graph' payload: {error}"
+            ) from error
+        features = np.asarray(request.features, dtype=float)
+        expected = index.database.num_features
+        if features.shape != (expected,):
+            raise InvalidRequest(
+                f"'features' must have exactly {expected} values, "
+                f"got {features.shape[0]}"
+            )
+        return graph, features
 
     def _execute_query(self, ticket: Ticket) -> dict:
         request = ticket.request

@@ -186,6 +186,17 @@ class ShardFrontier:
     def root_bound(self) -> float:
         return float(self.bounds[self.index.tree.root.node_id])
 
+    def min_gid_bound(self) -> int:
+        """Smallest relevant global id anywhere in this frontier (static —
+        a conservative key for the coordinator's id tie-break pruning)."""
+        return int(self._node_min_gid[self.index.tree.root.node_id])
+
+    @property
+    def foreign_embeds(self) -> int:
+        """How many foreign graphs were embedded against this shard's
+        vantage points (coordinator accounting)."""
+        return len(self._foreign_coords)
+
     def open_round(self, covered: np.ndarray) -> "RoundSearch":
         return RoundSearch(self, covered)
 

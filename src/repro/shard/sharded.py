@@ -26,6 +26,7 @@ import numpy as np
 from repro import obs
 from repro.core.results import QueryResult
 from repro.graphs.database import GraphDatabase
+from repro.index.errors import ReadOnlyIndexError
 from repro.index.nbindex import NBIndex
 from repro.index.persistence import load_index
 from repro.index.pivec import ThresholdLadder
@@ -173,6 +174,25 @@ class ShardedIndex:
             shard.set_ladder(ladder)
 
     # ------------------------------------------------------------------
+    # Mutations (Index protocol: read-only here)
+    # ------------------------------------------------------------------
+    #: A loaded bundle is a read-only view of its manifest generation —
+    #: open with ``repro.open_index(path, mutable=True)`` to mutate.
+    mutable = False
+
+    def insert(self, graph, feature_row) -> int:
+        raise ReadOnlyIndexError("insert", "ShardedIndex")
+
+    def delete(self, gid: int) -> bool:
+        raise ReadOnlyIndexError("delete", "ShardedIndex")
+
+    def update(self, gid: int, graph, feature_row) -> int:
+        raise ReadOnlyIndexError("update", "ShardedIndex")
+
+    def compact(self) -> dict:
+        raise ReadOnlyIndexError("compact", "ShardedIndex")
+
+    # ------------------------------------------------------------------
     # Introspection & lifecycle
     # ------------------------------------------------------------------
     @property
@@ -185,7 +205,15 @@ class ShardedIndex:
         return sum(shard.tree.num_nodes for shard in self.shards)
 
     def stats(self) -> dict:
-        """Statable protocol: bundle roll-up plus per-shard breakdown."""
+        """Statable protocol: bundle roll-up plus per-shard breakdown.
+
+        The scalar core uses the same key schema as
+        :meth:`NBIndex.stats` (``num_graphs`` / ``num_shards`` /
+        ``tree_nodes`` / ``ladder_thresholds`` / ``distance_calls`` /
+        ``memory_bytes`` / ``coverage_bytes`` / ``build_seconds`` /
+        ``degraded``), so dashboards read one shape regardless of the
+        deployment; per-shard detail nests under ``shards`` with the
+        same per-quantity names."""
         out = {
             "num_graphs": len(self.database),
             "num_shards": self.num_shards,
@@ -194,6 +222,14 @@ class ShardedIndex:
             "ladder_thresholds": len(self.ladder),
             "reused_shards": self.reused_shards,
             "memory_bytes": sum(s._memory_bytes() for s in self.shards),
+            "coverage_bytes": sum(s._coverage_bytes() for s in self.shards),
+            "build_seconds": float(
+                self.manifest.build.get(
+                    "total_seconds",
+                    sum(s.build_seconds for s in self.shards),
+                )
+            ),
+            "degraded": any(bool(s.build_degradations) for s in self.shards),
             "distance_calls": (
                 self.engine.calls
                 + sum(s._counting.calls for s in self.shards)
@@ -204,6 +240,8 @@ class ShardedIndex:
                     "num_graphs": len(shard.database),
                     "tree_nodes": shard.tree.num_nodes,
                     "distance_calls": shard._counting.calls,
+                    "memory_bytes": shard._memory_bytes(),
+                    "coverage_bytes": shard._coverage_bytes(),
                 }
                 for i, shard in enumerate(self.shards)
             ],

@@ -408,7 +408,7 @@ class TestReload:
 # ---------------------------------------------------------------------------
 class TestServiceIntegration:
     def test_service_answers_match_single_index(self, db, single_index, bundle_dir):
-        sharded = repro.load_shards(bundle_dir / "manifest.json", db)
+        sharded = repro.open_index(bundle_dir / "manifest.json", db, shards=True)
         with QueryService(sharded, config=ServiceConfig()) as service:
             response = service.call(
                 QueryRequest(id=1, op="query", theta=12.0, k=5)
@@ -426,7 +426,7 @@ class TestServiceIntegration:
             assert service.manager.index.reused_shards == 3
 
     def test_off_ladder_theta_is_a_client_error(self, db, bundle_dir):
-        sharded = repro.load_shards(bundle_dir / "manifest.json", db)
+        sharded = repro.open_index(bundle_dir / "manifest.json", db, shards=True)
         with QueryService(sharded, config=ServiceConfig()) as service:
             response = service.call(
                 QueryRequest(id=3, op="query", theta=1e6, k=3)
@@ -440,7 +440,7 @@ class TestServiceIntegration:
             assert service.journal.stats()["crashes"] == 0
 
     def test_load_shards_facade(self, db, bundle_dir):
-        sharded = repro.load_shards(bundle_dir / "manifest.json", db)
+        sharded = repro.open_index(bundle_dir / "manifest.json", db, shards=True)
         assert isinstance(sharded, ShardedIndex)
         assert sharded.num_shards == 3
         assert sharded.stats()["num_shards"] == 3
