@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""CI chaos gate for replicated multi-process serving.
+
+Serves one shard bundle (S=4) twice through the real CLI:
+
+1. **Reference** — ``repro serve --shards`` (single-process coordinator).
+2. **Chaos** — ``repro serve --shards --replicas 2`` with a ``FaultPlan``
+   injected into the service process (via sitecustomize) that kills
+   replica 0 of every shard every 40 ops *forever* and wedges one worker
+   past the supervisor's wedge timeout.
+
+Both runs answer the same 1000 mixed requests (queries, pings, stats).
+The gate asserts:
+
+* zero service exits (both processes finish their conversation and exit 0),
+* a clean drain on both sides,
+* every query and ping response is **byte-identical** between the runs —
+  kills, wedge-kills, restarts, and failovers may move work around but
+  must never change an answer bit,
+* the chaos actually happened (failovers > 0, restarts > 0),
+* no query was shed, failed, or flagged partial.
+
+Run from the repo root: ``python scripts/replica_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+NUM_REQUESTS = 1000
+NUM_SHARDS = 4
+REPLICAS = 2
+
+
+def build_requests() -> list[str]:
+    """Deterministic mix: 70% queries over varying (θ, k, quantile),
+    20% pings, 10% stats."""
+    lines = []
+    for i in range(NUM_REQUESTS):
+        bucket = i % 10
+        if bucket < 7:
+            lines.append(json.dumps({
+                "id": i, "op": "query", "theta": 6.0 + (i % 4),
+                "k": 1 + (i % 5), "quantile": 0.4 + 0.1 * (i % 3),
+            }))
+        elif bucket < 9:
+            lines.append(json.dumps({"id": i, "op": "ping"}))
+        else:
+            lines.append(json.dumps({"id": i, "op": "stats"}))
+    return lines
+
+
+def run_cli(*argv, timeout=300):
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=ROOT, capture_output=True, text=True, timeout=timeout,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    if completed.returncode != 0:
+        print(completed.stdout)
+        print(completed.stderr, file=sys.stderr)
+        raise SystemExit(f"setup command failed: {argv}")
+    return completed
+
+
+def serve(db, requests, *extra_args, pythonpath, metrics=None):
+    argv = [sys.executable, "-m", "repro.cli", "serve", str(db),
+            "--concurrency", "2", "--max-queue", str(NUM_REQUESTS + 8),
+            *extra_args]
+    if metrics is not None:
+        argv += ["--metrics", str(metrics)]
+    return subprocess.run(
+        argv, cwd=ROOT, input="\n".join(requests) + "\n",
+        capture_output=True, text=True, timeout=540,
+        env={"PYTHONPATH": pythonpath, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="replica-smoke-"))
+    db = tmp / "db.jsonl"
+    shards = tmp / "shards"
+    metrics = tmp / "metrics.json"
+
+    run_cli("generate", "dblp", "--num-graphs", "48", "--seed", "7",
+            "--output", str(db))
+    run_cli("shard-build", str(db), "--shards", str(NUM_SHARDS),
+            "--output", str(shards), "--vantage-points", "5",
+            "--branching", "4")
+    manifest = shards / "manifest.json"
+
+    requests = build_requests()
+    src_path = str(ROOT / "src")
+
+    # Reference: single-process scatter-gather coordinator.
+    reference = serve(db, requests, "--shards", str(manifest),
+                      pythonpath=src_path)
+
+    # Chaos: replica 0 of every shard dies every 40 ops (each restarted
+    # process serves 39 more and dies again — sustained churn), and one
+    # worker wedges past the supervisor's 5s wedge timeout, forcing a
+    # wedge-kill plus failover.  Replica 1 never dies, so every answer
+    # must still come out bit-identical.
+    wedge_token = tmp / "wedge-token"
+    wedge_token.write_text("wedge")
+    (tmp / "sitecustomize.py").write_text(
+        "from repro.resilience import faults\n"
+        "from repro.resilience.faults import FaultPlan\n"
+        "faults.install(FaultPlan(\n"
+        "    replica_kill_every=40,\n"
+        "    replica_kill_replicas=(0,),\n"
+        f"    replica_wedge_token={str(wedge_token)!r},\n"
+        "    replica_wedge_seconds=8.0,\n"
+        "))\n"
+    )
+    chaos = serve(db, requests, "--shards", str(manifest),
+                  "--replicas", str(REPLICAS), metrics=metrics,
+                  pythonpath=f"{tmp}:{src_path}")
+
+    failures = []
+    for name, completed in (("reference", reference), ("chaos", chaos)):
+        if completed.returncode != 0:
+            failures.append(
+                f"{name} service exited {completed.returncode} "
+                f"(stderr: {completed.stderr[-2000:]})"
+            )
+        if ("drained" not in completed.stderr
+                or "'clean': True" not in completed.stderr):
+            failures.append(
+                f"{name}: no clean drain: {completed.stderr[-500:]}"
+            )
+
+    # Workers answer out of request order under --concurrency 2, so key
+    # every response by id before comparing.
+    def by_id(completed, name):
+        responses = {}
+        for line in completed.stdout.splitlines():
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            responses[obj.get("id")] = (line, obj)
+        if len(responses) != NUM_REQUESTS:
+            failures.append(
+                f"{name}: expected {NUM_REQUESTS} responses, "
+                f"got {len(responses)}"
+            )
+        return responses
+
+    ref_responses = by_id(reference, "reference")
+    chaos_responses = by_id(chaos, "chaos")
+
+    compared = mismatched = 0
+    for rid in sorted(set(ref_responses) & set(chaos_responses)):
+        ref_line, ref_obj = ref_responses[rid]
+        chaos_line, chaos_obj = chaos_responses[rid]
+        if not (ref_obj.get("ok") and chaos_obj.get("ok")):
+            failures.append(
+                f"non-ok response: id={rid} "
+                f"ref={ref_obj.get('error')} chaos={chaos_obj.get('error')}"
+            )
+            continue
+        result = chaos_obj.get("result", {})
+        if result.get("partial"):
+            failures.append(
+                f"id={rid}: flagged partial under pinned chaos "
+                f"(replica 1 never dies — a group went down)"
+            )
+        if "pong" in result or "answer" in result:
+            compared += 1
+            if ref_line != chaos_line:  # byte-identical, not just equal
+                mismatched += 1
+                if mismatched <= 3:
+                    failures.append(
+                        f"answer diverged under chaos: id={rid}\n"
+                        f"  ref:   {ref_line[:220]}\n"
+                        f"  chaos: {chaos_line[:220]}"
+                    )
+
+    if mismatched:
+        failures.append(f"{mismatched}/{compared} answers diverged")
+    if compared < NUM_REQUESTS * 8 // 10:
+        failures.append(
+            f"only {compared} comparable responses — mix generator broke?"
+        )
+    if wedge_token.exists():
+        failures.append("wedge token never claimed — wedge chaos inert")
+
+    if not metrics.exists():
+        failures.append("chaos run flushed no metrics document")
+    else:
+        counters = json.loads(metrics.read_text())["metrics"]["counters"]
+        for needed in ("replica.failovers", "replica.restarts"):
+            if not counters.get(needed):
+                failures.append(
+                    f"chaos never exercised {needed} "
+                    f"(counters: { {k: v for k, v in counters.items() if k.startswith('replica.')} })"
+                )
+        print("replica counters:", {
+            k: v for k, v in sorted(counters.items())
+            if k.startswith("replica.")
+        })
+
+    print(f"compared {compared} answers under kill/wedge chaos; "
+          f"{mismatched} diverged")
+    if failures:
+        print("\nREPLICA SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("replica smoke OK: zero exits, clean drains, bit-identical "
+          "answers under sustained replica churn")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ subcommand without flags.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro import __version__, obs
@@ -263,6 +264,16 @@ def cmd_serve(args) -> int:
     if args.journal and not args.mutable:
         print("serve: --journal needs --mutable", file=sys.stderr)
         return 2
+    if args.replicas is not None:
+        if not args.shards:
+            print("serve: --replicas needs --shards (a manifest bundle to "
+                  "replicate)", file=sys.stderr)
+            return 2
+        if args.mutable or args.watch:
+            print("serve: --replicas conflicts with --mutable/--watch "
+                  "(worker processes hold immutable artifacts)",
+                  file=sys.stderr)
+            return 2
     service = QueryService.open(
         args.database,
         index_path=args.index,
@@ -271,13 +282,28 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         mutable=args.mutable,
         journal=args.journal or None,
+        replicas=args.replicas,
+        workers_per_shard=args.workers_per_shard,
+        hedge_ms=args.hedge_ms,
         seed=args.seed,
     ).start()
+    # A container SIGTERM (or Ctrl-C) must run the same graceful-drain
+    # path as EOF/serve_forever teardown — in-flight answers still go
+    # out, metrics flush, worker fleets stop.  Later signals during the
+    # drain itself are ignored rather than re-raised.
+    def _stop_signal(signum, frame):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop_signal)
+    signal.signal(signal.SIGINT, _stop_signal)
     print(
         f"serving {args.database} "
         f"({len(service.manager.database)} graphs, "
         f"generation {service.manager.generation}"
-        f"{', mutable' if args.mutable else ''}); "
+        f"{', mutable' if args.mutable else ''}"
+        f"{f', replicas={args.replicas}' if args.replicas else ''}); "
         f"workers={config.max_concurrency} queue={config.max_queue}",
         file=sys.stderr,
     )
@@ -574,6 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="index artifact to watch for hot reload")
     p.add_argument("--reload-poll", type=float, default=1.0, metavar="S",
                    help="watch-path polling interval (default: 1s)")
+    p.add_argument("--replicas", type=int, default=None, metavar="R",
+                   help="with --shards: serve from a supervised process "
+                        "cluster with R worker processes per shard "
+                        "(failover, restart, degraded partial answers)")
+    p.add_argument("--workers-per-shard", type=int, default=None,
+                   metavar="N",
+                   help="distance-engine processes inside each shard "
+                        "worker (with --replicas; default: serial)")
+    p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                   help="with --replicas: hedge slow replica reads onto "
+                        "a sibling after this floor delay (adaptive "
+                        "p99-style EMA above it; default: off)")
     p.add_argument("--crash-log", default=None, metavar="PATH",
                    help="append per-query crash journal entries (JSON lines)")
     p.add_argument("--seed", type=int, default=7)

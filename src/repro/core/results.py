@@ -43,6 +43,11 @@ class QueryStats:
     #: resolve / broadcast counts plus the per-shard work split.  Empty for
     #: single-index engines.
     coordinator: dict = field(default_factory=dict)
+    #: True when one or more whole replica groups were unavailable and the
+    #: answer covers only the surviving shards (replicated serving only).
+    partial: bool = False
+    #: Shard ids whose replica groups were down for this query.
+    unavailable_shards: list = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:

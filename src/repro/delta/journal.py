@@ -77,6 +77,10 @@ class MutationJournal:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._records: list[dict] = []
+        #: Torn final records truncated away on open — a nonzero value is
+        #: the fingerprint of a crash mid-append (surfaced through
+        #: ``MutableIndex.stats()["delta"]["journal_torn_tails"]``).
+        self.torn_tail_repairs = 0
         self._load()
         self._handle = self.path.open("a", encoding="utf-8")
 
@@ -115,6 +119,8 @@ class MutationJournal:
                     stacklevel=4,
                 )
                 obs.counter("delta.journal_truncated")
+                obs.counter("delta.journal_torn_tail")
+                self.torn_tail_repairs += 1
                 with self.path.open("r+", encoding="utf-8") as handle:
                     handle.truncate(keep_bytes)
                 break

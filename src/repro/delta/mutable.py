@@ -175,6 +175,10 @@ class MutableIndex:
                     self.journal.num_records
                     if self.journal is not None else 0
                 ),
+                "journal_torn_tails": (
+                    self.journal.torn_tail_repairs
+                    if self.journal is not None else 0
+                ),
             }
         return out
 

@@ -31,6 +31,7 @@ tests assert ``==``, not ``approx``.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -97,17 +98,28 @@ class BatchStarEvaluator:
         self._token_ids: dict[tuple[str, str, int], int] = {}
         self._root_ids: dict[str, int] = {}
         self._profiles: dict[int, _SparseStarProfile] = {}
+        # Serializes registry growth.  Concurrent service queries share one
+        # evaluator; unlocked interning could hand two tokens the same
+        # column (``len(dict)`` read + insert is not atomic), silently
+        # corrupting every later overlap.
+        self._registry_lock = threading.Lock()
 
     def _profile(self, g: LabeledGraph) -> _SparseStarProfile:
         key = id(g)
         profile = self._profiles.get(key)
         if profile is None:
-            profile = _SparseStarProfile(g, self._token_ids, self._root_ids)
-            self._profiles[key] = profile
+            with self._registry_lock:
+                profile = self._profiles.get(key)
+                if profile is None:
+                    profile = _SparseStarProfile(
+                        g, self._token_ids, self._root_ids
+                    )
+                    self._profiles[key] = profile
         return profile
 
-    def _csr(self, profiles: Sequence[_SparseStarProfile]) -> sp.csr_matrix:
-        num_columns = max(len(self._token_ids), 1)
+    def _csr(
+        self, profiles: Sequence[_SparseStarProfile], num_columns: int
+    ) -> sp.csr_matrix:
         if len(profiles) == 1:
             p = profiles[0]
             indptr, cols = p.indptr, p.cols
@@ -148,7 +160,15 @@ class BatchStarEvaluator:
             for idx, p in enumerate(profiles):
                 out[idx] = float(np.sum(1.0 + p.degrees)) if len(p.roots) else 0.0
             return self._normalize_many(out, source, profiles)
-        overlap = (self._csr([source]) @ self._csr(profiles).T).toarray()
+        # Snapshot the vocabulary width once, *after* every profile above
+        # exists: both CSR operands must agree on the column count even if
+        # a concurrent query interns new tokens mid-call.  Every column id
+        # in these profiles predates the snapshot, so the width is valid.
+        num_columns = max(len(self._token_ids), 1)
+        overlap = (
+            self._csr([source], num_columns)
+            @ self._csr(profiles, num_columns).T
+        ).toarray()
         degrees_all = np.concatenate([p.degrees for p in profiles])
         roots_all = np.concatenate([p.roots for p in profiles])
         cost_block = (

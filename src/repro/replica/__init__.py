@@ -1,0 +1,35 @@
+"""Replicated multi-process shard serving.
+
+``repro.replica`` turns a PR-5 shard bundle into a supervised process
+cluster: R :class:`~repro.replica.worker.ShardWorker` replicas per shard
+(line-JSON over socketpairs), a :class:`~repro.replica.supervisor.Supervisor`
+that heartbeats, wedge-kills, and restarts them with capped backoff, and
+a :class:`~repro.replica.router.ReplicaRouter` that gives the
+scatter-gather coordinator failover and optional hedged reads.  The
+public entry point is :class:`ReplicatedIndex`, a drop-in for
+:class:`~repro.shard.ShardedIndex` that answers bit-identically under
+replica churn and degrades to flagged partial answers
+(:class:`ShardUnavailableError` per dead group) instead of failing.
+"""
+
+from repro.replica.cluster import ReplicatedIndex, ReplicaQuerySession
+from repro.replica.errors import (
+    ReplicaError,
+    ReplicaWorkerError,
+    ShardUnavailableError,
+)
+from repro.replica.router import ReplicaRouter
+from repro.replica.supervisor import Supervisor
+from repro.replica.worker import ShardWorker, worker_main
+
+__all__ = [
+    "ReplicatedIndex",
+    "ReplicaQuerySession",
+    "ReplicaError",
+    "ReplicaRouter",
+    "ReplicaWorkerError",
+    "ShardUnavailableError",
+    "ShardWorker",
+    "Supervisor",
+    "worker_main",
+]

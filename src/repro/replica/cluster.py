@@ -1,0 +1,420 @@
+"""`ReplicatedIndex`: a supervised multi-process cluster behind the
+single-index API.
+
+The replicated deployment runs every shard of a manifest bundle as R
+worker *processes* (R replicas per shard), supervised and restarted on
+failure, and drives the PR-5 scatter-gather greedy over
+:class:`~repro.replica.remote.RemoteFrontier` objects instead of
+in-process :class:`~repro.shard.frontier.ShardFrontier` ones.  The
+coordinator loop, the selection rule, and therefore the answer bits are
+identical — a replica crash mid-query costs a failover and some
+re-pulled candidates, never a different answer.
+
+Degradation contract: when *every* replica of a shard is down (and stays
+down past the router's failover budget) the query session retries the
+query over the surviving shards with fresh worker sessions and returns a
+flagged partial answer (``stats.partial`` /
+``stats.unavailable_shards``), mirroring the "answer what you can, flag
+what you couldn't" contract of the circuit breaker's bound-only mode.
+Only a deterministic worker-side op failure
+(:class:`~repro.replica.errors.ReplicaWorkerError`) fails the query.
+
+The relevance function must be wire-expressible: replicated serving
+accepts :class:`~repro.graphs.relevance.AverageScoreThreshold`-shaped
+functions (anything with ``dims`` and ``threshold`` attributes), which is
+what :func:`~repro.graphs.relevance.quartile_relevance` — and hence the
+query service — produces.  Each worker rebuilds the function from
+``(dims, threshold)`` and derives the identical relevant set.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.bitset import BitsetUniverse
+from repro.core.results import QueryResult, QueryStats
+from repro.graphs.database import GraphDatabase
+from repro.index.errors import OffLadderThetaError, ReadOnlyIndexError
+from repro.index.nbindex import NBIndex
+from repro.index.pivec import ThresholdLadder
+from repro.replica.errors import ShardUnavailableError
+from repro.replica.remote import RemoteFrontier
+from repro.replica.router import ReplicaRouter
+from repro.replica.supervisor import Supervisor
+from repro.resilience.errors import DatabaseMismatchError
+from repro.shard.coordinator import (
+    new_coord,
+    record_coordinator_obs,
+    run_greedy,
+)
+from repro.shard.manifest import ShardManifest, database_checksum
+from repro.utils.validation import require_positive
+
+
+class ReplicatedIndex:
+    """R supervised worker processes per shard, queryable as one index."""
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        distance,
+        *,
+        manifest: ShardManifest,
+        path: Path,
+        supervisor: Supervisor,
+        router: ReplicaRouter,
+    ):
+        self.database = database
+        self.distance = distance
+        self.manifest = manifest
+        self.path = path
+        self.supervisor = supervisor
+        self.router = router
+        self.ladder = ThresholdLadder(manifest.ladder)
+        self.shard_of = np.asarray(manifest.assignments, dtype=np.int64)
+        #: Single-index/service stats parity (nothing is hot-reloaded
+        #: into a live process cluster).
+        self.reused_shards = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        manifest_path: str | Path,
+        database: GraphDatabase,
+        distance,
+        *,
+        replicas: int = 2,
+        workers_per_shard: int | None = None,
+        op_timeout_s: float = 10.0,
+        hedge_ms: float | None = None,
+        heartbeat_s: float = 0.5,
+        wedge_timeout_s: float = 5.0,
+        spawn_timeout_s: float = 60.0,
+        restart_policy=None,
+    ) -> "ReplicatedIndex":
+        """Spawn and handshake the full S×R worker fleet.
+
+        Raises the same :class:`~repro.resilience.DatabaseMismatchError`
+        as :meth:`ShardedIndex.load <repro.shard.ShardedIndex.load>` when
+        the manifest does not describe ``database``; raises
+        :class:`~repro.replica.errors.ReplicaError` when any worker fails
+        its startup handshake (a cluster that cannot start complete does
+        not start at all)."""
+        manifest_path = Path(manifest_path)
+        manifest = ShardManifest.load(manifest_path)
+        if len(database) != manifest.num_graphs or (
+            database_checksum(database) != manifest.database_checksum
+        ):
+            raise DatabaseMismatchError(
+                f"{manifest_path}: shard manifest does not match the "
+                f"provided database"
+            )
+        supervisor = Supervisor(
+            database,
+            distance,
+            manifest_path,
+            manifest.num_shards,
+            replicas=replicas,
+            workers_per_shard=workers_per_shard,
+            heartbeat_s=heartbeat_s,
+            wedge_timeout_s=wedge_timeout_s,
+            spawn_timeout_s=spawn_timeout_s,
+            restart_policy=restart_policy,
+        )
+        supervisor.start()
+        router = ReplicaRouter(
+            supervisor, op_timeout_s=op_timeout_s, hedge_ms=hedge_ms,
+        )
+        return cls(
+            database, distance, manifest=manifest, path=manifest_path,
+            supervisor=supervisor, router=router,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries (single-index API surface)
+    # ------------------------------------------------------------------
+    def session(self, query_fn) -> "ReplicaQuerySession":
+        return ReplicaQuerySession(self, query_fn)
+
+    def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
+        unknown = set(kwargs) - NBIndex._QUERY_KWARGS
+        if unknown:
+            raise TypeError(
+                f"ReplicatedIndex.query() got unexpected keyword arguments "
+                f"{sorted(unknown)}; accepted: {sorted(NBIndex._QUERY_KWARGS)}"
+            )
+        return self.session(query_fn).query(theta, k, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Mutations (Index protocol: read-only here)
+    # ------------------------------------------------------------------
+    #: Worker processes hold immutable shard artifacts; mutate through a
+    #: single-process ``repro.open_index(path, mutable=True)`` deployment.
+    mutable = False
+
+    def insert(self, graph, feature_row) -> int:
+        raise ReadOnlyIndexError("insert", "ReplicatedIndex")
+
+    def delete(self, gid: int) -> bool:
+        raise ReadOnlyIndexError("delete", "ReplicatedIndex")
+
+    def update(self, gid: int, graph, feature_row) -> int:
+        raise ReadOnlyIndexError("update", "ReplicatedIndex")
+
+    def compact(self) -> dict:
+        raise ReadOnlyIndexError("compact", "ReplicatedIndex")
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.manifest.num_shards
+
+    @property
+    def replicas(self) -> int:
+        return self.supervisor.replicas
+
+    @property
+    def tree_nodes(self) -> int:
+        """Total NB-Tree nodes across shards (replica 0's handshake view —
+        every replica of a shard reports the same artifact)."""
+        return sum(
+            group[0].tree_nodes or 0 for group in self.supervisor.groups
+        )
+
+    def stats(self) -> dict:
+        """Statable protocol: same scalar core as :meth:`ShardedIndex.stats`
+        plus a ``replica`` section with the supervisor's fleet view."""
+        return {
+            "num_graphs": len(self.database),
+            "num_shards": self.num_shards,
+            "partitioner": self.manifest.partitioner,
+            "tree_nodes": self.tree_nodes,
+            "ladder_thresholds": len(self.ladder),
+            "reused_shards": self.reused_shards,
+            "replica": self.supervisor.stats(),
+        }
+
+    def invalidate_pools(self) -> None:
+        """Lifecycle hook parity: tears down the whole worker fleet."""
+        self.supervisor.stop()
+
+    close = invalidate_pools
+
+    def __enter__(self) -> "ReplicatedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicatedIndex n={len(self.database)} "
+            f"shards={self.num_shards} replicas={self.replicas}>"
+        )
+
+
+class ReplicaQuerySession:
+    """Per-relevance-function state for replicated queries.
+
+    Mirrors :class:`~repro.shard.coordinator.ShardedQuerySession`: the
+    relevant set and bit universe are materialized once, client-side, and
+    shipped to workers as the ``(dims, threshold)`` spec."""
+
+    def __init__(self, cluster: ReplicatedIndex, query_fn):
+        dims = getattr(query_fn, "dims", None)
+        threshold = getattr(query_fn, "threshold", None)
+        if dims is None or threshold is None:
+            raise TypeError(
+                "replicated serving needs a wire-expressible relevance "
+                "function exposing `dims` and `threshold` (e.g. "
+                "AverageScoreThreshold / quartile_relevance); got "
+                f"{type(query_fn).__name__}"
+            )
+        self.cluster = cluster
+        self.query_fn = query_fn
+        self.dims = tuple(int(d) for d in dims)
+        self.threshold = float(threshold)
+        started = time.perf_counter()
+        self.relevant = cluster.database.relevant_indices(query_fn)
+        self.relevant_set = frozenset(int(i) for i in self.relevant)
+        self.universe = BitsetUniverse(self.relevant)
+        #: Per-shard relevant members (ascending; pure function of the
+        #: manifest, identical to each worker's own derivation).
+        self.shard_relevant = {
+            s: self.relevant[
+                cluster.shard_of[self.relevant] == s
+            ]
+            for s in range(cluster.num_shards)
+        }
+        self.init_seconds = time.perf_counter() - started
+        obs.observe_time("shard.session_init_seconds", self.init_seconds)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        theta: float,
+        k: int,
+        stop_on_zero_gain: bool = False,
+        enable_updates: bool = True,
+        deadline=None,
+    ) -> QueryResult:
+        """Replicated top-k query; same contract — and same answer bits —
+        as :meth:`ShardedQuerySession.query`, degrading to a flagged
+        partial answer when whole replica groups are unavailable."""
+        require_positive(theta, "theta")
+        require_positive(k, "k")
+        from repro.resilience.deadline import current_deadline, deadline_scope
+
+        cluster = self.cluster
+        ladder_index = cluster.ladder.index_for(theta)
+        if ladder_index is None:
+            obs.counter("index.offladder_theta")
+            raise OffLadderThetaError(theta, cluster.ladder)
+
+        stats = QueryStats(init_seconds=self.init_seconds)
+        effective_deadline = (
+            deadline if deadline is not None else current_deadline()
+        )
+        degradations_before = (
+            dict(effective_deadline.degradations)
+            if effective_deadline is not None else {}
+        )
+        unavailable: set[int] = set()
+        worker_degradations: list[dict] = []
+        coord = new_coord(cluster.num_shards)
+
+        with deadline_scope(deadline), obs.span(
+            "replica.query", theta=theta, k=k,
+            shards=cluster.num_shards, replicas=cluster.replicas,
+        ) as query_span:
+            while True:
+                served = [
+                    s for s in range(cluster.num_shards)
+                    if s not in unavailable
+                ]
+                if not served:
+                    answer, gains = [], []
+                    covered = self.universe.empty()
+                    coord = new_coord(0)
+                    break
+                frontiers = self._open_frontiers(
+                    served, theta, effective_deadline
+                )
+                coord = new_coord(len(frontiers))
+                try:
+                    answer, gains, covered = run_greedy(
+                        list(frontiers.values()),
+                        self.universe,
+                        lambda gid: frontiers[int(cluster.shard_of[gid])],
+                        k,
+                        int(self.relevant.size),
+                        stop_on_zero_gain=stop_on_zero_gain,
+                        enable_updates=enable_updates,
+                        stats=stats,
+                        coord=coord,
+                    )
+                    break
+                except ShardUnavailableError as error:
+                    # A whole replica group died mid-query.  Drop that
+                    # shard and re-run over the survivors with fresh
+                    # sessions (worker state from the aborted attempt is
+                    # keyed by session id and simply ages out).
+                    unavailable.add(error.shard_id)
+                    obs.counter("replica.shard_unavailable")
+                finally:
+                    for frontier in frontiers.values():
+                        worker_degradations.append(
+                            frontier.session.degradations
+                        )
+                        frontier.close()
+
+            stats.coordinator = coord
+            if effective_deadline is not None:
+                for reported in worker_degradations:
+                    effective_deadline.merge_degradations(reported)
+                delta = {
+                    kind: count - degradations_before.get(kind, 0)
+                    for kind, count in effective_deadline.degradations.items()
+                    if count > degradations_before.get(kind, 0)
+                }
+                stats.degradations = delta
+                stats.degradation_events = sum(delta.values())
+                stats.degraded = bool(delta)
+            if unavailable:
+                stats.partial = True
+                stats.unavailable_shards = sorted(unavailable)
+                stats.degradations = dict(stats.degradations)
+                stats.degradations["replica.shard_unavailable"] = len(
+                    unavailable
+                )
+                stats.degradation_events += len(unavailable)
+                stats.degraded = True
+            if stats.degraded:
+                obs.counter("query.degraded")
+            self._record_obs(coord, stats)
+            query_span.set(
+                answer_size=len(answer),
+                degraded=stats.degraded,
+                partial=stats.partial,
+            )
+        return QueryResult(
+            answer=answer,
+            gains=gains,
+            covered=self.universe.decode_frozenset(covered),
+            num_relevant=int(self.relevant.size),
+            theta=theta,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _open_frontiers(
+        self, served: list[int], theta: float, effective_deadline,
+    ) -> dict[int, RemoteFrontier]:
+        """One fresh-session RemoteFrontier per served shard.
+
+        One session id covers the whole attempt — worker session tables
+        are per-process, so the same id on every shard is unambiguous,
+        and a retry after a group failure gets a new id (no state from
+        the aborted attempt leaks in)."""
+        sid = uuid.uuid4().hex[:16]
+        deadline_state = (
+            effective_deadline.state()
+            if effective_deadline is not None else None
+        )
+        return {
+            s: RemoteFrontier(
+                self.cluster.router,
+                s,
+                sid,
+                dims=self.dims,
+                threshold=self.threshold,
+                theta=theta,
+                relevant_global=self.shard_relevant[s],
+                universe=self.universe,
+                deadline_state=deadline_state,
+            )
+            for s in served
+        }
+
+    def _record_obs(self, coord: dict, stats: QueryStats) -> None:
+        if not obs.enabled():
+            return
+        obs.counter("replica.query.count")
+        record_coordinator_obs(coord, stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicaQuerySession relevant={self.relevant.size} "
+            f"shards={self.cluster.num_shards} "
+            f"replicas={self.cluster.replicas}>"
+        )

@@ -1,0 +1,235 @@
+"""Failover routing: which replica answers, and what happens when it dies.
+
+The :class:`ReplicaRouter` is the only code that talks to worker handles
+on behalf of a query.  It implements three policies on top of the
+supervisor's live view:
+
+* **Routed reads with failover** (:meth:`call`) — the op goes to the
+  shard's primary (first live replica); on a transport failure the
+  worker is reported dead and the op retries on the next live sibling.
+  Duplicated or re-ordered pulls are *safe by construction*: every
+  frontier bound is a valid upper bound at any staleness, and exact
+  gains are computed against the coordinator-supplied covered set, so a
+  behind replica can cost extra pulls but never change the selected
+  answer (the submodularity argument of ``shard/coordinator.py``).
+* **Broadcast writes** (:meth:`broadcast`) — state-advancing ops
+  (``begin_round`` / ``open_round`` / ``select`` / ``update``) go to
+  *every* live replica so each one can take over as primary mid-round.
+  One success suffices; replicas that miss a broadcast are repaired by
+  session restore on their next contact.
+* **Hedged reads** (optional) — with ``hedge_ms`` set, a read still
+  unanswered after an adaptive delay (per-replica latency EMA plus three
+  deviations, floored at ``hedge_ms``) is raced against a sibling; the
+  first answer wins.  The loser's response is still fully read under its
+  replica's lock, so the stream stays frame-synchronized.
+
+Session state is restored lazily: before any op on a replica process
+that has not seen this session (fresh restart, or LRU eviction signalled
+by the typed ``unknown_session`` error), the router replays the session
+log — open, selections, current round — from
+:class:`~repro.replica.remote.SessionLog`.  Restored bounds are coarser
+but still upper bounds; answers are unchanged.
+
+When every replica of a shard is gone, :class:`ShardUnavailableError`
+surfaces to the query session, which degrades to a flagged partial
+answer over the surviving shards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.replica.errors import (
+    ReplicaUnreachable,
+    ReplicaWorkerError,
+    ShardUnavailableError,
+)
+from repro.replica.supervisor import Supervisor, WorkerHandle
+
+
+class ReplicaRouter:
+    """Op-level routing over a :class:`Supervisor`'s worker fleet."""
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        *,
+        op_timeout_s: float = 10.0,
+        hedge_ms: float | None = None,
+    ):
+        self.supervisor = supervisor
+        self.op_timeout_s = float(op_timeout_s)
+        self.hedge_ms = None if hedge_ms is None else float(hedge_ms)
+        #: Hard cap on failover hops for one op — bounds worst-case
+        #: latency even if the monitor keeps reviving doomed workers.
+        self.max_failovers = 2 * supervisor.replicas + 2
+
+    # ------------------------------------------------------------------
+    # Public op surface
+    # ------------------------------------------------------------------
+    def call(self, shard_id: int, payload: dict, session=None,
+             *, hedge: bool = False) -> dict:
+        """Route one read op with failover (and optional hedging)."""
+        causes: list[str] = []
+        for _ in range(self.max_failovers):
+            live = self.supervisor.live(shard_id)
+            if not live:
+                raise ShardUnavailableError(shard_id, causes)
+            handle = live[0]
+            try:
+                if (
+                    hedge
+                    and self.hedge_ms is not None
+                    and len(live) > 1
+                ):
+                    return self._hedged(handle, live[1], payload, session)
+                return self._call_handle(handle, payload, session)
+            except ReplicaUnreachable as error:
+                causes.append(str(error))
+                self.supervisor.report_failure(handle)
+                obs.counter("replica.failovers")
+        raise ShardUnavailableError(shard_id, causes)
+
+    def broadcast(self, shard_id: int, payload: dict, session=None) -> dict:
+        """Send a state-advancing op to every live replica of a shard.
+
+        Returns the first successful result; raises
+        :class:`ShardUnavailableError` when no replica accepted it.
+        """
+        causes: list[str] = []
+        first_result: dict | None = None
+        for handle in self.supervisor.live(shard_id):
+            try:
+                result = self._call_handle(handle, payload, session)
+            except ReplicaUnreachable as error:
+                causes.append(str(error))
+                self.supervisor.report_failure(handle)
+                obs.counter("replica.failovers")
+                continue
+            if first_result is None:
+                first_result = result
+        if first_result is None:
+            raise ShardUnavailableError(shard_id, causes)
+        return first_result
+
+    def close_session(self, shard_id: int, session) -> None:
+        """Best-effort session teardown on every live replica."""
+        payload = {"op": "close", "sid": session.sid}
+        for handle in self.supervisor.live(shard_id):
+            if session.sid not in handle.sessions:
+                continue
+            try:
+                handle.call(payload, self.op_timeout_s,
+                            max_frame=self.supervisor.max_frame_bytes)
+            except ReplicaUnreachable:
+                pass  # it is dying anyway; the monitor will deal with it
+            handle.sessions.discard(session.sid)
+
+    # ------------------------------------------------------------------
+    # One handle, one op
+    # ------------------------------------------------------------------
+    def _call_handle(self, handle: WorkerHandle, payload: dict,
+                     session) -> dict:
+        if session is not None:
+            self._ensure_session(handle, session)
+        response = handle.call(payload, self.op_timeout_s,
+                               max_frame=self.supervisor.max_frame_bytes)
+        if not response.get("ok"):
+            code = (response.get("error") or {}).get("code")
+            if code == "unknown_session" and session is not None:
+                # Evicted (LRU) rather than restarted: replay and retry.
+                handle.sessions.discard(session.sid)
+                self._ensure_session(handle, session)
+                response = handle.call(
+                    payload, self.op_timeout_s,
+                    max_frame=self.supervisor.max_frame_bytes,
+                )
+        return self._unwrap(response, session)
+
+    def _unwrap(self, response: dict, session) -> dict:
+        if response.get("ok"):
+            if session is not None and "deg" in response:
+                session.note_degradations(response["deg"])
+            result = response.get("r")
+            if not isinstance(result, dict):
+                obs.counter("replica.protocol_errors")
+                raise ReplicaUnreachable("response carries no result object")
+            return result
+        error = response.get("error")
+        if not isinstance(error, dict):
+            obs.counter("replica.protocol_errors")
+            raise ReplicaUnreachable("response carries no error object")
+        raise ReplicaWorkerError(
+            str(error.get("code", "internal")),
+            str(error.get("message", "")),
+        )
+
+    def _ensure_session(self, handle: WorkerHandle, session) -> None:
+        """Make sure this replica process holds the session (replay log)."""
+        if session.sid in handle.sessions:
+            return
+        if session.mid_query:
+            obs.counter("replica.session_restores")
+        for step in session.replay_payloads():
+            response = handle.call(
+                step, self.op_timeout_s,
+                max_frame=self.supervisor.max_frame_bytes,
+            )
+            result = self._unwrap(response, session)
+            if step.get("op") == "open":
+                session.note_open_result(result)
+        handle.sessions.add(session.sid)
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+    def _hedged(self, primary: WorkerHandle, sibling: WorkerHandle,
+                payload: dict, session) -> dict:
+        """Race primary vs sibling after an adaptive delay."""
+        lock = threading.Condition()
+        outcomes: list[tuple[WorkerHandle, str, object]] = []
+
+        def attempt(handle: WorkerHandle) -> None:
+            try:
+                result = self._call_handle(handle, payload, session)
+                entry = (handle, "ok", result)
+            except ReplicaUnreachable as error:
+                # The loser (or any failed leg) reports itself — the main
+                # thread may have returned already.
+                self.supervisor.report_failure(handle)
+                entry = (handle, "err", error)
+            except ReplicaWorkerError as error:
+                entry = (handle, "fatal", error)
+            with lock:
+                outcomes.append(entry)
+                lock.notify_all()
+
+        threads = [threading.Thread(
+            target=attempt, args=(primary,), daemon=True,
+        )]
+        threads[0].start()
+        delay = max(self.hedge_ms / 1000.0, primary.hedge_latency)
+        launched = 1
+        with lock:
+            lock.wait_for(lambda: outcomes, timeout=delay)
+            if not outcomes:
+                obs.counter("replica.hedges")
+                hedge_thread = threading.Thread(
+                    target=attempt, args=(sibling,), daemon=True,
+                )
+                hedge_thread.start()
+                threads.append(hedge_thread)
+                launched = 2
+            while True:
+                for handle, status, value in outcomes:
+                    if status == "ok":
+                        if handle is sibling:
+                            obs.counter("replica.hedge_wins")
+                        return value  # type: ignore[return-value]
+                    if status == "fatal":
+                        raise value  # type: ignore[misc]
+                if len(outcomes) >= launched:
+                    # every leg failed with a transport error
+                    raise outcomes[0][2]  # type: ignore[misc]
+                lock.wait()

@@ -48,6 +48,25 @@ class FaultPlan:
     abort_after_stage:
         Raise :class:`SimulatedCrash` right after this build stage is
         checkpointed — the "kill -9 between stages" scenario.
+    replica_kill_token:
+        Path to an existing file; the first *shard replica worker* to
+        unlink it at op entry dies — a hard one-shot mid-query kill.
+    replica_kill_every:
+        A replica worker dies once it has served this many ops —
+        sustained churn: every restarted worker dies again after the
+        same count, so restarts and session restores keep happening for
+        the life of the plan.
+    replica_kill_replicas:
+        Restrict both replica-kill modes to these replica indexes
+        (``None`` = any).  Chaos runs that must keep one live replica
+        per shard pin kills to index 0 while index 1 survives.
+    replica_wedge_token:
+        Path to an existing file; the first replica worker to unlink it
+        sleeps ``replica_wedge_seconds`` at op entry — the wedged-worker
+        scenario (heartbeat/timeout detection, not crash detection).
+    replica_wedge_seconds:
+        How long a wedged replica sleeps (default 30 s — far past any
+        sane op timeout, so the router must fail over, never wait).
     """
 
     crash_token: str | os.PathLike | None = None
@@ -56,6 +75,11 @@ class FaultPlan:
     slow_limit: int | None = None
     torn_write: bool = False
     abort_after_stage: str | None = None
+    replica_kill_token: str | os.PathLike | None = None
+    replica_kill_every: int | None = None
+    replica_kill_replicas: tuple | None = None
+    replica_wedge_token: str | os.PathLike | None = None
+    replica_wedge_seconds: float = 30.0
 
 
 _PLAN: FaultPlan | None = None
@@ -137,3 +161,44 @@ def maybe_abort_stage(stage: str) -> None:
     plan = _PLAN
     if plan is not None and plan.abort_after_stage == stage:
         raise SimulatedCrash(f"fault injection: killed after stage {stage!r}")
+
+
+def _replica_selected(plan: FaultPlan, replica_index: int) -> bool:
+    return plan.replica_kill_replicas is None or (
+        replica_index in plan.replica_kill_replicas
+    )
+
+
+def maybe_kill_replica(replica_index: int, ops_served: int) -> None:
+    """Shard-replica op entry.  Only ever called inside a forked worker
+    process — ``os._exit`` here must never kill the coordinator."""
+    plan = _PLAN
+    if plan is None or not _replica_selected(plan, replica_index):
+        return
+    if (
+        plan.replica_kill_every is not None
+        and ops_served >= plan.replica_kill_every
+    ):
+        os._exit(3)
+    if plan.replica_kill_token is not None:
+        try:
+            os.unlink(plan.replica_kill_token)  # atomic: exactly one winner
+        except FileNotFoundError:
+            return
+        os._exit(3)
+
+
+def maybe_wedge_replica(replica_index: int) -> None:
+    """Shard-replica op entry: one-shot wedge (long sleep, not death)."""
+    plan = _PLAN
+    if (
+        plan is None
+        or plan.replica_wedge_token is None
+        or not _replica_selected(plan, replica_index)
+    ):
+        return
+    try:
+        os.unlink(plan.replica_wedge_token)
+    except FileNotFoundError:
+        return
+    time.sleep(plan.replica_wedge_seconds)

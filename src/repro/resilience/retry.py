@@ -41,3 +41,13 @@ class RetryPolicy:
         exponential backoff, jittered upward by at most ``jitter``×."""
         base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
         return base * (1.0 + self.jitter * random.random())
+
+    def delays(self):
+        """The full backoff schedule: one delay per retry.
+
+        Yields ``max_attempts - 1`` values (the first attempt has no
+        preceding sleep), each an independently jittered sample of
+        :meth:`delay` for that position.
+        """
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt)

@@ -32,6 +32,12 @@ Responses echo the ``id`` and carry either ``result`` or a typed
     {"id": 6, "ok": false,
      "error": {"code": "overloaded", "message": "...", "retry_after_s": 0.4}}
 
+Replicated deployments (``repro serve --shards ... --replicas R``) add
+``"partial": true`` and ``"unavailable_shards": [...]`` to a query
+result *only* when every replica of one or more shards was down and the
+answer covers just the surviving shards; normal responses stay
+byte-identical across deployment shapes.
+
 Oversized lines (``max_request_bytes``), non-JSON, unknown ops and
 invalid parameters are rejected *before admission* with
 ``invalid_request`` — a malformed client cannot occupy a queue slot.

@@ -124,6 +124,9 @@ class QueryService:
         workers: int | None = None,
         mutable: bool = False,
         journal=None,
+        replicas: int | None = None,
+        workers_per_shard: int | None = None,
+        hedge_ms: float | None = None,
         **build_kwargs,
     ) -> "QueryService":
         """The CLI path: open the database, load or build the index.
@@ -141,6 +144,13 @@ class QueryService:
         then appends a durable mutation journal.  A mutable deployment
         never runs the reload watcher — the delta layer owns the index
         lifecycle, and ``compact`` is the sanctioned swap path.
+
+        ``replicas=R`` (shard bundles only) serves the bundle from a
+        supervised multi-process cluster — R worker processes per shard
+        with failover, restart, and degraded partial answers
+        (:class:`repro.replica.ReplicatedIndex`) — instead of in-process
+        shard objects.  Incompatible with ``mutable`` and with the
+        reload watcher: worker processes hold immutable artifacts.
         """
         import repro
 
@@ -153,6 +163,27 @@ class QueryService:
             distance = repro.StarDistance()
         if config is None:
             config = ServiceConfig()
+        if replicas is not None:
+            require(
+                shards_path is not None,
+                "replicas= needs a shard bundle (shards_path)",
+            )
+            require(not mutable, "a replicated deployment is read-only")
+            require(
+                config.watch is None,
+                "a replicated deployment cannot hot-reload from a watch "
+                "path; restart the cluster to pick up a new bundle",
+            )
+            from repro.replica import ReplicatedIndex
+
+            index = ReplicatedIndex.open(
+                shards_path, database, distance,
+                replicas=replicas, workers_per_shard=workers_per_shard,
+                hedge_ms=hedge_ms,
+            )
+            return cls(
+                index, config=config, distance=distance, workers=workers
+            )
         artifact = shards_path if shards_path is not None else index_path
         if artifact is not None:
             index = repro.open_index(
@@ -301,6 +332,8 @@ class QueryService:
             index_stats["num_shards"] = index.num_shards
             index_stats["partitioner"] = index.manifest.partitioner
             index_stats["reused_shards"] = index.reused_shards
+            if hasattr(index, "supervisor"):  # replicated process cluster
+                index_stats["replica"] = index.supervisor.stats()
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "admission": self.admission.stats(),
@@ -477,7 +510,7 @@ class QueryService:
                 degraded=result.stats.degraded, probe=mode == PROBE
             )
         obs.counter("service.queries")
-        return protocol.ok_response(request.id, {
+        body = {
             "answer": [int(g) for g in result.answer],
             "gains": [int(g) for g in result.gains],
             "pi": float(result.pi),
@@ -487,7 +520,15 @@ class QueryService:
             "degradations": dict(result.stats.degradations),
             "bound_only": bound_only,
             "generation": generation,
-        })
+        }
+        # Replicated serving only, and only on actual group loss: normal
+        # responses stay byte-identical across deployment shapes.
+        if getattr(result.stats, "partial", False):
+            body["partial"] = True
+            body["unavailable_shards"] = [
+                int(s) for s in result.stats.unavailable_shards
+            ]
+        return protocol.ok_response(request.id, body)
 
     def _watch_loop(self) -> None:
         while not self._stop_watcher.wait(self.config.reload_poll_s):
@@ -544,17 +585,25 @@ def serve_lines(service: QueryService, in_stream, out_stream) -> dict:
     writer = threading.Thread(target=_writer, name="repro-serve-out", daemon=True)
     writer.start()
     served = 0
-    for line in in_stream:
-        if not line.strip():
-            continue
-        served += 1
-        try:
-            request = protocol.parse_request(
-                line, max_bytes=service.config.max_request_bytes
-            )
-            pending.put(service.submit(request))
-        except ServiceError as error:
-            pending.put(protocol.error_response(_best_effort_id(line), error))
+    try:
+        for line in in_stream:
+            if not line.strip():
+                continue
+            served += 1
+            try:
+                request = protocol.parse_request(
+                    line, max_bytes=service.config.max_request_bytes
+                )
+                pending.put(service.submit(request))
+            except ServiceError as error:
+                pending.put(
+                    protocol.error_response(_best_effort_id(line), error)
+                )
+    except KeyboardInterrupt:
+        # SIGTERM/SIGINT mid-stream (the CLI turns both into this): stop
+        # reading and fall through to the same drain path EOF takes —
+        # already-admitted requests still get their FIFO responses.
+        pass
     pending.put(_EOF)
     writer.join()
     report = service.drain()

@@ -54,6 +54,47 @@ def test_batch_evaluator_bit_identical(db, normalized):
         assert np.array_equal(got, expected)
 
 
+def test_batch_evaluator_concurrent_queries_bit_identical(db):
+    """Concurrent one_to_many calls on ONE evaluator must stay correct.
+
+    The service runs ``--concurrency`` threads against a shared engine;
+    the token registry grows lazily, so unsynchronized interning used to
+    (a) crash the overlap matmul with mismatched column counts and
+    (b) risk two tokens silently sharing a column.  Hammer a fresh
+    evaluator from several threads over disjoint graph slices and check
+    every value against the serial distance.
+    """
+    import threading
+
+    serial = StarDistance()
+    expected = {
+        source: np.array([serial(db[source], g) for g in db.graphs])
+        for source in range(8)
+    }
+    for _ in range(5):  # fresh registry each round: interning races live
+        evaluator = batch_evaluator_for(StarDistance())
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def hammer(sources):
+            barrier.wait()  # maximize registry-growth overlap
+            for source in sources:
+                results[source] = evaluator.one_to_many(
+                    db[source], list(db.graphs)
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=([s, s + 4],))
+            for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for source, got in results.items():
+            assert np.array_equal(got, expected[source]), source
+
+
 def test_batch_evaluator_empty_and_mismatched_graphs(star):
     empty = LabeledGraph([], [])
     single = LabeledGraph(["a"], [])

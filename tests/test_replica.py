@@ -1,0 +1,457 @@
+"""Replicated multi-process serving: bit-identity, failover, degradation.
+
+The load-bearing claims under test:
+
+* A replicated cluster answers **bit-identically** to the in-process
+  ``ShardedIndex`` over the same bundle — including while replicas are
+  being killed and wedged mid-query (chaos pinned to replica 0 so one
+  sibling always survives).
+* A **whole replica group down** degrades to a flagged partial answer
+  over the surviving shards — typed, fast, never a hang or a crash.
+* A replica answering with **malformed or oversized frames** costs one
+  typed failover (counted once), never a coordinator crash.
+* ``repro serve`` turns **SIGTERM/SIGINT** into the graceful-drain path,
+  answering everything already admitted before exiting 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_database
+from repro import obs
+from repro.ged import StarDistance
+from repro.graphs import quartile_relevance
+from repro.graphs.io import save_database
+from repro.index.pivec import ThresholdLadder
+from repro.replica import ReplicatedIndex, ShardUnavailableError
+from repro.replica import wire
+from repro.replica.errors import (
+    ReplicaDead,
+    ReplicaProtocolError,
+    ReplicaUnreachable,
+)
+from repro.replica.router import ReplicaRouter
+from repro.replica.supervisor import WorkerHandle
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+from repro.shard import ShardedIndex, build_shards
+
+LADDER = ThresholdLadder([2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 40.0])
+BUILD = dict(num_vantage_points=6, branching=4, thresholds=LADDER)
+
+
+@pytest.fixture(scope="module")
+def cluster_db():
+    return random_database(seed=17, size=48)
+
+
+@pytest.fixture(scope="module")
+def bundle(cluster_db, tmp_path_factory):
+    out = tmp_path_factory.mktemp("replica-bundle")
+    return build_shards(
+        cluster_db, StarDistance(), num_shards=3, out_dir=out, seed=7,
+        **BUILD,
+    )
+
+
+@pytest.fixture(scope="module")
+def relevance_fn(cluster_db):
+    return quartile_relevance(cluster_db, quantile=0.5)
+
+
+@pytest.fixture(scope="module")
+def reference(bundle, cluster_db, relevance_fn):
+    """Single-process answers for every (theta, k) the tests replay."""
+    sharded = ShardedIndex.load(bundle, cluster_db, StarDistance())
+    refs = {
+        (theta, k): sharded.query(relevance_fn, theta, k)
+        for theta in (6.0, 8.0) for k in (3, 5)
+    }
+    sharded.close()
+    return refs
+
+
+def _assert_identical(got, ref):
+    assert got.answer == ref.answer
+    assert got.gains == ref.gains
+    assert got.covered == ref.covered
+    assert got.num_relevant == ref.num_relevant
+    assert not got.stats.partial
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("replicas", [1, 2])
+    def test_matches_sharded_index(
+        self, bundle, cluster_db, relevance_fn, reference, replicas,
+    ):
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=replicas,
+        ) as rep:
+            for (theta, k), ref in reference.items():
+                _assert_identical(rep.query(relevance_fn, theta, k), ref)
+
+    def test_session_reuse_across_thetas(
+        self, bundle, cluster_db, relevance_fn, reference,
+    ):
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=2,
+        ) as rep:
+            session = rep.session(relevance_fn)
+            for (theta, k), ref in reference.items():
+                _assert_identical(session.query(theta, k), ref)
+
+    def test_rejects_opaque_relevance(self, bundle, cluster_db):
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=1,
+        ) as rep:
+            with pytest.raises(TypeError, match="wire-expressible"):
+                rep.session(lambda matrix: matrix[:, 0] > 0.5)
+
+    def test_read_only_surface(self, bundle, cluster_db):
+        from repro.index.errors import ReadOnlyIndexError
+
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=1,
+        ) as rep:
+            assert rep.mutable is False
+            with pytest.raises(ReadOnlyIndexError):
+                rep.delete(0)
+            with pytest.raises(TypeError, match="unexpected keyword"):
+                rep.query(None, 8.0, 3, nonsense=True)
+
+
+class TestChaosKills:
+    def test_kill_churn_keeps_answers_identical(
+        self, bundle, cluster_db, relevance_fn, reference,
+    ):
+        # Replica 0 of every shard dies every 12 ops, forever (each
+        # restarted process serves 11 ops then dies again).  Replica 1
+        # never dies, so the group stays available and the coordinator
+        # fails over mid-query as kills land.
+        plan = FaultPlan(replica_kill_every=12, replica_kill_replicas=(0,))
+        with faults.injected(plan):
+            with ReplicatedIndex.open(
+                bundle, cluster_db, StarDistance(), replicas=2,
+                heartbeat_s=0.1,
+            ) as rep:
+                for _ in range(3):
+                    for (theta, k), ref in reference.items():
+                        _assert_identical(
+                            rep.query(relevance_fn, theta, k), ref
+                        )
+                # Kills definitely happened (ops served ≫ kill_every);
+                # give the monitor a beat to complete a restart.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if rep.supervisor.stats()["restarts"] > 0:
+                        break
+                    time.sleep(0.05)
+                stats = rep.supervisor.stats()
+        assert stats["spawns"] > 6  # initial fleet was 6
+        assert stats["restarts"] > 0
+
+    def test_wedged_replica_fails_over(
+        self, bundle, cluster_db, relevance_fn, reference, tmp_path,
+    ):
+        # One-shot wedge on replica 0: the first worker to claim the
+        # token sleeps well past the op timeout.  The caller times out,
+        # poisons the connection, and the answer comes from the sibling.
+        token = tmp_path / "wedge-token"
+        token.write_text("wedge")
+        plan = FaultPlan(
+            replica_wedge_token=str(token),
+            replica_wedge_seconds=5.0,
+            replica_kill_replicas=(0,),
+        )
+        with faults.injected(plan):
+            with ReplicatedIndex.open(
+                bundle, cluster_db, StarDistance(), replicas=2,
+                op_timeout_s=1.0,
+            ) as rep:
+                ref = reference[(8.0, 5)]
+                _assert_identical(rep.query(relevance_fn, 8.0, 5), ref)
+        assert not token.exists()  # the wedge actually fired
+
+    def test_monitor_restarts_crashed_worker(
+        self, bundle, cluster_db, relevance_fn, reference,
+    ):
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=2,
+            heartbeat_s=0.1,
+        ) as rep:
+            handle = rep.supervisor.groups[0][0]
+            first_generation = handle.generation
+            handle.proc.kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if handle.alive and handle.generation > first_generation:
+                    break
+                time.sleep(0.05)
+            assert handle.alive and handle.generation > first_generation
+            # The restarted fleet still answers identically.
+            ref = reference[(8.0, 5)]
+            _assert_identical(rep.query(relevance_fn, 8.0, 5), ref)
+
+
+def _private_bundle(bundle, tmp_path):
+    """Copy the shared bundle so a test can destroy artifacts safely."""
+    import shutil
+
+    target = tmp_path / "bundle"
+    shutil.copytree(Path(bundle).parent, target)
+    return target / Path(bundle).name
+
+
+class TestGroupDown:
+    def test_whole_group_down_degrades_to_partial(
+        self, bundle, cluster_db, relevance_fn, tmp_path,
+    ):
+        bundle = _private_bundle(bundle, tmp_path)
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=2,
+            op_timeout_s=2.0,
+        ) as rep:
+            # Make shard 0 unrecoverable (artifact gone → respawn fails
+            # its handshake), then kill its whole group.
+            artifact = rep.manifest.artifact_path(0, Path(bundle).parent)
+            os.unlink(artifact)
+            for handle in rep.supervisor.groups[0]:
+                rep.supervisor.report_failure(handle)
+            started = time.monotonic()
+            got = rep.query(relevance_fn, 8.0, 5)
+            elapsed = time.monotonic() - started
+            assert got.stats.partial
+            assert got.stats.unavailable_shards == [0]
+            assert got.stats.degraded
+            assert (
+                got.stats.degradations["replica.shard_unavailable"] == 1
+            )
+            # Partial means *only shard 0's members are unserved*: no
+            # answered graph lives there, and the answer is exactly the
+            # greedy over the surviving shards.
+            assert all(int(rep.shard_of[g]) != 0 for g in got.answer)
+            assert got.answer  # survivors still answered
+            assert elapsed < 30.0  # degraded, not hung
+
+    def test_all_groups_down_still_answers(
+        self, bundle, cluster_db, relevance_fn, tmp_path,
+    ):
+        bundle = _private_bundle(bundle, tmp_path)
+        with ReplicatedIndex.open(
+            bundle, cluster_db, StarDistance(), replicas=1,
+            op_timeout_s=2.0,
+        ) as rep:
+            base = Path(bundle).parent
+            for shard_id in range(rep.num_shards):
+                os.unlink(rep.manifest.artifact_path(shard_id, base))
+            for group in rep.supervisor.groups:
+                for handle in group:
+                    rep.supervisor.report_failure(handle)
+            got = rep.query(relevance_fn, 8.0, 5)
+            assert got.stats.partial
+            assert got.stats.unavailable_shards == [0, 1, 2]
+            assert got.answer == [] and got.gains == []
+
+
+# ---------------------------------------------------------------------------
+# Malformed / oversized frames (fake worker on a socketpair)
+# ---------------------------------------------------------------------------
+class _StubSupervisor:
+    """Just enough Supervisor surface for the router: live + failures."""
+
+    def __init__(self, handles, max_frame_bytes=wire.MAX_FRAME_BYTES):
+        self.replicas = len(handles)
+        self.max_frame_bytes = max_frame_bytes
+        self.handles = handles
+        self.failures = []
+
+    def live(self, shard_id):
+        return [h for h in self.handles if h.alive]
+
+    def report_failure(self, handle):
+        handle.mark_dead()
+        self.failures.append(handle)
+
+
+def _fake_worker(responses):
+    """A WorkerHandle whose 'process' is an in-test thread.
+
+    ``responses(request) -> bytes`` decides each raw reply; the thread
+    exits on EOF."""
+    parent, child = socket.socketpair()
+    handle = WorkerHandle(0, 0)
+    handle.sock = parent
+    handle.reader = parent.makefile("rb")
+    handle.alive = True
+
+    def serve():
+        reader = child.makefile("rb")
+        try:
+            while True:
+                line = reader.readline()
+                if not line:
+                    return
+                try:
+                    child.sendall(responses(json.loads(line)))
+                except OSError:
+                    return
+        finally:
+            reader.close()
+            child.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return handle
+
+
+def _good_worker():
+    return _fake_worker(
+        lambda req: (json.dumps(
+            {"ok": True, "r": {"pong": True, "echo": req.get("op")}}
+        ) + "\n").encode()
+    )
+
+
+class TestMalformedFrames:
+    def test_garbage_frame_is_typed_and_counted_once(self):
+        evil = _fake_worker(lambda req: b"this is not json\n")
+        with obs.observe() as observation:
+            with pytest.raises(ReplicaProtocolError):
+                evil.call({"op": "ping"}, timeout=5.0)
+            counters = observation.stats()["counters"]
+        assert counters["replica.protocol_errors"] == 1
+        assert not evil.alive  # poisoned, never reused
+
+    def test_oversized_frame_is_typed_and_counted_once(self):
+        evil = _fake_worker(
+            lambda req: b'{"ok": true, "r": {"pad": "'
+            + b"x" * 4096 + b'"}}\n'
+        )
+        with obs.observe() as observation:
+            with pytest.raises(ReplicaProtocolError, match="exceeds"):
+                evil.call({"op": "ping"}, timeout=5.0, max_frame=1024)
+            counters = observation.stats()["counters"]
+        assert counters["replica.protocol_errors"] == 1
+
+    def test_router_fails_over_on_malformed_frame(self):
+        evil = _fake_worker(lambda req: b"\x00\xff garbage\n")
+        good = _good_worker()
+        supervisor = _StubSupervisor([evil, good])
+        router = ReplicaRouter(supervisor, op_timeout_s=5.0)
+        with obs.observe() as observation:
+            result = router.call(0, {"op": "ping"})
+            counters = observation.stats()["counters"]
+        assert result["echo"] == "ping"  # the good sibling answered
+        assert supervisor.failures == [evil]
+        assert counters["replica.protocol_errors"] == 1
+        assert counters["replica.failovers"] == 1
+
+    def test_router_fails_over_on_non_object_result(self):
+        evil = _fake_worker(
+            lambda req: b'{"ok": true, "r": [1, 2, 3]}\n'
+        )
+        good = _good_worker()
+        supervisor = _StubSupervisor([evil, good])
+        router = ReplicaRouter(supervisor, op_timeout_s=5.0)
+        result = router.call(0, {"op": "ping"})
+        assert result["echo"] == "ping"
+        assert supervisor.failures == [evil]
+
+    def test_group_unavailable_when_all_replicas_corrupt(self):
+        evil_a = _fake_worker(lambda req: b"nope\n")
+        evil_b = _fake_worker(lambda req: b"also nope\n")
+        supervisor = _StubSupervisor([evil_a, evil_b])
+        router = ReplicaRouter(supervisor, op_timeout_s=5.0)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            router.call(0, {"op": "ping"})
+        assert excinfo.value.shard_id == 0
+        assert excinfo.value.causes  # transport causes recorded
+
+    def test_peer_exit_is_replica_dead(self):
+        def die(request):
+            raise OSError("worker died mid-op")  # serve loop closes the pipe
+
+        dead = _fake_worker(die)
+        with pytest.raises(ReplicaDead):
+            dead.call({"op": "ping"}, timeout=5.0)
+        assert not dead.alive
+        assert isinstance(ReplicaDead("x"), ReplicaUnreachable)
+
+
+# ---------------------------------------------------------------------------
+# Wire helpers
+# ---------------------------------------------------------------------------
+class TestWire:
+    def test_words_round_trip(self):
+        words = np.array([0, 2**63, 1234567], dtype=np.uint64)
+        text = wire.words_to_wire(words)
+        back = wire.words_from_wire(text, words.size)
+        assert np.array_equal(words, back)
+
+    def test_word_count_mismatch_is_typed(self):
+        words = np.array([1, 2], dtype=np.uint64)
+        text = wire.words_to_wire(words)
+        with pytest.raises(ReplicaProtocolError):
+            wire.words_from_wire(text, 3)
+
+    def test_bad_hex_is_typed(self):
+        with pytest.raises(ReplicaProtocolError):
+            wire.words_from_wire("zz-not-hex", 1)
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM / SIGINT graceful drain (satellite 1)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_serve_signal_drains_gracefully(tmp_path, signum):
+    """``repro serve`` on stdin: a stop signal mid-request still answers
+    everything admitted, prints the drain report, and exits 0."""
+    db = random_database(seed=21, size=30)
+    db_path = tmp_path / "db.jsonl"
+    save_database(db, db_path)
+
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(db_path),
+         "--concurrency", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        requests = [
+            {"id": i, "op": "query", "v": 1, "theta": 8.0, "k": 3,
+             "quantile": 0.5}
+            for i in range(2)
+        ]
+        for request in requests:
+            proc.stdin.write(json.dumps(request) + "\n")
+        proc.stdin.flush()
+        # First response proves the index is built and a request is in
+        # flight territory; the signal lands while stdin is still open.
+        first = json.loads(proc.stdout.readline())
+        assert first["ok"], first
+        proc.send_signal(signum)
+        out, err = proc.communicate(timeout=60)
+    except Exception:
+        proc.kill()
+        raise
+    responses = [json.loads(line) for line in out.splitlines() if line.strip()]
+    answered = {r["id"] for r in responses} | {first["id"]}
+    assert answered == {0, 1}  # everything admitted was answered
+    assert all(r["ok"] for r in responses)
+    assert "drained:" in err
+    assert proc.returncode == 0

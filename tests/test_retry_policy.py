@@ -1,0 +1,83 @@
+"""Property tests for the capped-backoff retry policy.
+
+The supervisor leans on :class:`RetryPolicy` for restart pacing, so its
+envelope guarantees are load-bearing: a delay outside
+``[base, base × (1 + jitter)]`` either hammers a broken worker or stalls
+recovery.  Hypothesis sweeps the knob space instead of spot-checking.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.resilience.retry import RetryPolicy
+
+_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=24),
+    base_delay=st.floats(min_value=0.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay=st.floats(min_value=10.0, max_value=120.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+)
+
+
+class TestDelayEnvelope:
+    @given(policy=_policies, attempt=st.integers(min_value=0, max_value=200))
+    def test_delay_within_jitter_envelope(self, policy, attempt):
+        base = min(policy.max_delay, policy.base_delay * (2.0 ** attempt))
+        delay = policy.delay(attempt)
+        assert base <= delay <= base * (1.0 + policy.jitter) + 1e-12
+
+    @given(policy=_policies, attempt=st.integers(min_value=0, max_value=200))
+    def test_delay_never_exceeds_jittered_cap(self, policy, attempt):
+        assert policy.delay(attempt) <= (
+            policy.max_delay * (1.0 + policy.jitter) + 1e-12
+        )
+
+    @given(policy=_policies)
+    def test_unjittered_schedule_monotone_up_to_cap(self, policy):
+        flat = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            max_delay=policy.max_delay,
+            jitter=0.0,
+        )
+        schedule = [flat.delay(attempt) for attempt in range(32)]
+        assert schedule == sorted(schedule)  # doubling, monotone
+        assert all(delay <= flat.max_delay for delay in schedule)
+        # Once capped, it stays exactly at the cap.
+        capped = [d for d in schedule if d == flat.max_delay]
+        if capped:
+            assert schedule[-len(capped):] == capped
+
+
+class TestDelaysGenerator:
+    @given(policy=_policies)
+    def test_yields_one_delay_per_retry(self, policy):
+        schedule = list(policy.delays())
+        assert len(schedule) == policy.max_attempts - 1
+
+    @given(policy=_policies)
+    def test_yielded_delays_match_positional_envelope(self, policy):
+        for attempt, delay in enumerate(policy.delays()):
+            base = min(
+                policy.max_delay, policy.base_delay * (2.0 ** attempt)
+            )
+            assert base <= delay <= base * (1.0 + policy.jitter) + 1e-12
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(base_delay=-0.1),
+        dict(max_delay=0.01, base_delay=0.05),
+        dict(jitter=-0.5),
+        dict(jitter=1.5),
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
