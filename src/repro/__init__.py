@@ -129,7 +129,12 @@ def open_index(
         Path to a mutation journal (``mutable=True`` only).  Existing
         records are replayed over the freshly opened database before the
         base index loads — reopening a mutated deployment restores it
-        exactly; subsequent mutations append durably.
+        exactly; subsequent mutations append durably.  A *checkpointed*
+        journal (generation > 0, see
+        :func:`repro.durability.checkpoint`) pins its own base database
+        file next to itself and verifies its crc32 before replay; pass
+        ``database`` as a **path** in that case — the journal decides
+        which file actually loads.
     """
     from pathlib import Path as _Path
 
@@ -146,15 +151,33 @@ def open_index(
     sharded = (
         path.suffix == ".json" if shards is None else bool(shards)
     )
-    if isinstance(database, (str, _Path)):
-        database = open_database(database)
 
     replayed = None
     if journal is not None:
+        # The journal opens FIRST: a checkpointed generation's header
+        # names the base file the records replay onto, overriding the
+        # caller's database path.
         from repro.delta import MutationJournal
+        from repro.durability.checkpoint import resolve_base_path
 
         replayed = MutationJournal(journal)
+        if replayed.base_name is not None and not isinstance(
+            database, (str, _Path)
+        ):
+            from repro.delta.errors import JournalError
+
+            raise JournalError(
+                f"{replayed.path}: this journal was checkpointed "
+                f"(generation {replayed.generation}) and pins its own "
+                f"base database file — pass database as a path, not a "
+                f"loaded object, so the pinned base can load and verify"
+            )
+        if isinstance(database, (str, _Path)):
+            base_path = resolve_base_path(replayed, database)
+            database = open_database(base_path)
         replayed.replay_into(database)
+    elif isinstance(database, (str, _Path)):
+        database = open_database(database)
 
     # The index may cover fewer graphs than the (journaled) live
     # database — load it against the prefix snapshot it was built over.

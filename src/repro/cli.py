@@ -10,6 +10,10 @@ Wires the library's main workflows into subcommands::
     repro query dud.jsonl --k 10 --shards dud-shards/manifest.json
     repro serve dud.jsonl --index dud-index.npz [--tcp 127.0.0.1:7341]
     repro serve dud.jsonl --shards dud-shards/manifest.json
+    repro checkpoint dud.jsonl --journal dud.journal
+    repro backup backups/snap --database dud.jsonl --journal dud.journal
+    repro restore backups/snap restored/
+    repro verify dud-shards/manifest.json
     repro bench-hotpath --sizes 500
     repro experiment fig2a_disc_growth
 
@@ -161,12 +165,18 @@ def cmd_query(args) -> int:
         print("query: --journal needs --index or --shards", file=sys.stderr)
         return 2
     observation = _start_observation(args)
-    database = repro.open_database(args.database)
     distance = StarDistance()
 
     # Resolve the index before relevance/theta: a --journal open replays
     # journaled mutations into the database, and both the relevance
     # thresholds and any calibrated theta must see the mutated content.
+    # With a journal the database travels as a path — a checkpointed
+    # journal (generation > 0) pins its own base file, and open_index
+    # loads + verifies that instead of the original.
+    database = (
+        args.database if args.journal
+        else repro.open_database(args.database)
+    )
     index = None
     if args.shards or args.index:
         index = repro.open_index(
@@ -175,6 +185,8 @@ def cmd_query(args) -> int:
             mutable=bool(args.journal), journal=args.journal or None,
             workers=args.workers, seed=args.seed,
         )
+        if args.journal:
+            database = index.database
 
     theta = args.theta
     if theta is None:
@@ -243,9 +255,14 @@ def _print_degradation_footer(deadline) -> None:
 
 def cmd_serve(args) -> int:
     from repro.service import BreakerConfig, QueryService, ServiceConfig
+    from repro.service.crashlog import DEFAULT_MAX_BYTES
     from repro.service.server import serve_lines, serve_tcp
 
     observation = _start_observation(args)
+    if args.crash_log_max_bytes is None:
+        crash_log_max = DEFAULT_MAX_BYTES
+    else:  # 0 disables rotation entirely
+        crash_log_max = args.crash_log_max_bytes or None
     config = ServiceConfig(
         max_concurrency=args.concurrency,
         max_queue=args.max_queue,
@@ -253,9 +270,12 @@ def cmd_serve(args) -> int:
         drain_grace_s=args.drain_grace,
         breaker=BreakerConfig(cooldown_s=args.breaker_cooldown),
         crash_log=args.crash_log,
+        crash_log_max_bytes=crash_log_max,
+        crash_log_keep=args.crash_log_keep,
         watch=args.watch,
         reload_poll_s=args.reload_poll,
         metrics_path=args.metrics,
+        scrub_interval_s=args.scrub_interval,
     )
     if args.mutable and args.watch:
         print("serve: --mutable conflicts with --watch (compaction owns "
@@ -332,6 +352,83 @@ def cmd_serve(args) -> int:
         if args.trace:
             observation.report(file=sys.stderr)
         observation.__exit__(None, None, None)
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.durability import DurabilityError, checkpoint_offline
+    from repro.delta.errors import JournalError
+
+    try:
+        report = checkpoint_offline(args.database, args.journal)
+    except (DurabilityError, JournalError) as error:
+        print(f"checkpoint: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"checkpointed {args.journal}: generation {report['generation']}, "
+        f"folded {report['folded_records']} records into {report['base']} "
+        f"({report['base_bytes']} bytes, crc32 {report['base_crc32']}) "
+        f"in {report['seconds']:.2f}s"
+    )
+    return 0
+
+
+def cmd_backup(args) -> int:
+    from repro.durability import DurabilityError, create_backup
+    from repro.delta.errors import JournalError
+    from repro.shard.errors import ManifestError
+
+    if args.index and args.shards:
+        print("backup: pass --index or --shards, not both", file=sys.stderr)
+        return 2
+    try:
+        report = create_backup(
+            args.output,
+            database=args.database,
+            journal=args.journal,
+            index=args.index,
+            shards=args.shards,
+        )
+    except (DurabilityError, JournalError, ManifestError) as error:
+        print(f"backup: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {report['path']}: {report['files']} files, "
+        f"{report['bytes']} bytes ({', '.join(report['roles'])})"
+    )
+    return 0
+
+
+def cmd_restore(args) -> int:
+    from repro.durability import DurabilityError, restore_backup
+
+    try:
+        report = restore_backup(args.backup, args.dest, force=args.force)
+    except DurabilityError as error:
+        print(f"restore: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"restored {args.backup} -> {report['path']}: "
+        f"{report['files']} files ({', '.join(report['roles'])})"
+    )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.durability import verify_deployment
+
+    failures = 0
+    for path in args.paths:
+        report = verify_deployment(path)
+        for checked in report["checked"]:
+            print(f"ok: {checked}")
+        for problem in report["problems"]:
+            print(f"CORRUPT: {problem}", file=sys.stderr)
+        failures += 0 if report["ok"] else 1
+    if failures:
+        print(f"verify: {failures} target(s) failed", file=sys.stderr)
+        return 1
+    print("verify: all checksums match")
     return 0
 
 
@@ -614,6 +711,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "p99-style EMA above it; default: off)")
     p.add_argument("--crash-log", default=None, metavar="PATH",
                    help="append per-query crash journal entries (JSON lines)")
+    p.add_argument("--crash-log-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="rotate the crash log once it would exceed N bytes "
+                        "(default: 1 MiB; 0 disables rotation)")
+    p.add_argument("--crash-log-keep", type=int, default=3, metavar="N",
+                   help="rotated crash-log files to keep (default: 3)")
+    p.add_argument("--scrub-interval", type=float, default=None, metavar="S",
+                   help="run the background scrubber every S seconds, "
+                        "re-verifying artifact checksums and self-healing "
+                        "from replicas/loaded objects (default: off; "
+                        "one-shot 'scrub' protocol ops always work)")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=None,
                    help="distance-engine processes (default: "
@@ -624,6 +732,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="print the counter/span report after drain")
     p.set_defaults(func=cmd_serve)
+
+    p = subparsers.add_parser(
+        "checkpoint",
+        help="fold a mutation journal into a fresh generation-numbered "
+             "base database (the journal shrinks to zero records)",
+    )
+    p.add_argument("database",
+                   help="the original (generation-0) database file the "
+                        "journal replays onto")
+    p.add_argument("--journal", required=True, metavar="PATH",
+                   help="the mutation journal to checkpoint")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = subparsers.add_parser(
+        "backup",
+        help="capture a crash-consistent, checksummed snapshot of a "
+             "deployment into a fresh directory",
+    )
+    p.add_argument("output", help="backup directory (must not exist)")
+    p.add_argument("--database", default=None, metavar="PATH",
+                   help="database JSONL (required unless the journal is "
+                        "checkpointed and pins its own base)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="mutation journal to include (its pinned base "
+                        "supersedes --database for generation > 0)")
+    p.add_argument("--index", default=None, metavar="PATH",
+                   help="single-index .npz artifact to include")
+    p.add_argument("--shards", default=None, metavar="MANIFEST",
+                   help="shard bundle (manifest.json or its directory) — "
+                        "the manifest plus every shard artifact")
+    p.set_defaults(func=cmd_backup)
+
+    p = subparsers.add_parser(
+        "restore",
+        help="verify every checksum in a backup, then install it "
+             "(atomically into a fresh directory, or --force in place)",
+    )
+    p.add_argument("backup", help="backup directory written by 'repro backup'")
+    p.add_argument("dest", help="destination directory")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite an existing destination in place "
+                        "(per-file atomic replaces, journal last)")
+    p.set_defaults(func=cmd_restore)
+
+    p = subparsers.add_parser(
+        "verify",
+        help="offline checksum audit of any repro artifact: backup dir, "
+             "shard bundle, index .npz, journal (+ pinned base), database",
+    )
+    p.add_argument("paths", nargs="+", help="artifact path(s) to audit")
+    p.set_defaults(func=cmd_verify)
 
     p = subparsers.add_parser(
         "bench-hotpath",

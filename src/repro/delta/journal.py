@@ -5,16 +5,22 @@ JSONL) is never rewritten by mutations; instead every ``insert`` /
 ``delete`` / ``update`` appends one self-checksummed JSON line here, and
 reopening an index replays the journal over the freshly loaded database —
 ``database = base file + journal``, exactly.  Compaction does **not**
-truncate the journal (the base file still lacks the inserted graphs), so
-insert records are retained for the life of the journal; rewriting the
-base database and starting a fresh journal is an offline operation
-(``save_database`` round-trips tombstones for exactly this purpose).
+truncate the journal (the base file still lacks the inserted graphs);
+:func:`repro.durability.checkpoint` is the online operation that rewrites
+the base database (``save_database`` round-trips tombstones for exactly
+this purpose) and starts a fresh *generation* of this journal through
+:meth:`MutationJournal.start_generation` — an atomic rename is the commit
+point, so a crash at any moment leaves either the old generation or the
+new one, never a mix.
 
 Crash safety is the LSM rule: each append is one line, flushed and
 fsynced before the mutation is acknowledged.  On replay a torn *final*
-line (the crash-mid-append signature) is truncated away with a warning
-and an obs counter; a bad record anywhere *before* the tail means real
-corruption and raises :class:`~repro.delta.errors.JournalError`.
+line (the crash-mid-append signature) is truncated away — byte-exactly,
+in binary mode — with a warning and an obs counter; a bad record anywhere
+*before* the tail means real corruption and raises
+:class:`~repro.delta.errors.JournalError`.  Recovery streams the file
+line by line, so reopening costs O(1) memory in the journal size beyond
+the decoded records themselves.
 
 Line format (one JSON object per line)::
 
@@ -22,12 +28,16 @@ Line format (one JSON object per line)::
                 "features": [...]}, "crc32": 1234}
 
 where ``crc32`` covers the canonical (sorted, compact) JSON of
-``record``.  The first line is a header record carrying the schema tag.
+``record``.  The first line is a header record carrying the schema tag
+and, for checkpointed journals, the generation number plus a pointer to
+(and a crc32 of) the rewritten base database file the records replay
+onto.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import warnings
 import zlib
 from pathlib import Path
@@ -38,6 +48,7 @@ from repro import obs
 from repro.delta.errors import JournalError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.resilience import faults
 
 SCHEMA = "repro.mutation-journal/v1"
 
@@ -65,6 +76,90 @@ def _decode(line: str) -> dict | None:
     return record
 
 
+def _iter_journal_lines(path: Path):
+    """Stream ``(offset, line_bytes)`` pairs without loading the file.
+
+    ``offset`` is the byte position where the line starts; ``line_bytes``
+    keeps its trailing newline (absent only on a torn final line), so
+    ``offset + len(line_bytes)`` is always the exact truncation point
+    *after* the line.
+    """
+    offset = 0
+    with path.open("rb") as handle:
+        for line in handle:
+            yield offset, line
+            offset += len(line)
+
+
+def scan_journal(path: str | Path) -> dict:
+    """Audit one journal file without mutating it.
+
+    Streams every line, verifying the per-record crc32 and the header,
+    and reports what a reopen would see::
+
+        {"records": N,            # valid mutation records (header excluded)
+         "generation": G, "base": name-or-None, "base_crc32": crc-or-None,
+         "torn_tail": bool,       # final line fails its checksum
+         "problems": [...]}       # mid-file corruption / header trouble
+
+    A torn tail is *not* a problem — it is the expected shape of a crash
+    (or a concurrent append caught mid-write) and reopening repairs it.
+    Anything in ``problems`` means the journal cannot replay.  Used by
+    ``repro verify`` and the background scrubber, which must never
+    truncate a live file the way :class:`MutationJournal` does on open.
+    """
+    path = Path(path)
+    report = {
+        "records": 0, "generation": 0, "base": None, "base_crc32": None,
+        "torn_tail": False, "problems": [],
+    }
+    if not path.exists():
+        report["problems"].append(f"{path}: journal file does not exist")
+        return report
+    header_seen = False
+    bad_at: int | None = None
+    index = 0
+    for _offset, raw in _iter_journal_lines(path):
+        line = raw.decode("utf-8", errors="replace")
+        if not line.strip():
+            index += 1
+            continue
+        if bad_at is not None:
+            # Valid-looking bytes after a bad record: corruption, not a
+            # torn tail.
+            report["problems"].append(
+                f"{path}: record {bad_at} fails its checksum with intact "
+                f"records after it — corrupt, not torn"
+            )
+            bad_at = None
+            report["torn_tail"] = False
+        record = _decode(line)
+        if record is None or not raw.endswith(b"\n"):
+            bad_at = index
+            report["torn_tail"] = True
+            index += 1
+            continue
+        if not header_seen:
+            header_seen = True
+            if record.get("schema") != SCHEMA:
+                report["problems"].append(
+                    f"{path}: unsupported journal schema "
+                    f"{record.get('schema')!r}"
+                )
+            report["generation"] = int(record.get("generation", 0))
+            report["base"] = record.get("base")
+            base_crc = record.get("base_crc32")
+            report["base_crc32"] = (
+                None if base_crc is None else int(base_crc)
+            )
+        else:
+            report["records"] += 1
+        index += 1
+    if not header_seen and not report["torn_tail"]:
+        report["problems"].append(f"{path}: journal has no header record")
+    return report
+
+
 class MutationJournal:
     """Append-only mutation log bound to one file.
 
@@ -72,6 +167,11 @@ class MutationJournal:
     tail in place); :meth:`replay_into` then applies them to a freshly
     loaded database.  Afterwards the journal stays open for appends —
     every append is flushed and fsynced before it returns.
+
+    A checkpointed journal (generation > 0) additionally pins its own
+    base database file: :attr:`base_name` / :attr:`base_crc32` name the
+    rewritten base next to the journal, and :func:`repro.open_index`
+    loads *that* file (crc-verified) instead of the original database.
     """
 
     def __init__(self, path: str | Path):
@@ -81,49 +181,64 @@ class MutationJournal:
         #: the fingerprint of a crash mid-append (surfaced through
         #: ``MutableIndex.stats()["delta"]["journal_torn_tails"]``).
         self.torn_tail_repairs = 0
+        #: Checkpoint generation (0 = the original base database file).
+        self.generation = 0
+        #: Relative filename of the checkpointed base database next to
+        #: this journal, or ``None`` at generation 0.
+        self.base_name: str | None = None
+        #: crc32 of the checkpointed base file's bytes (``None`` at
+        #: generation 0) — verified before the base is trusted.
+        self.base_crc32: int | None = None
         self._load()
         self._handle = self.path.open("a", encoding="utf-8")
 
     # ------------------------------------------------------------------
     # Open / recovery
     # ------------------------------------------------------------------
+    def _header_record(self) -> dict:
+        header = {"op": "open", "schema": SCHEMA}
+        if self.generation:
+            header["generation"] = self.generation
+            header["base"] = self.base_name
+            header["base_crc32"] = self.base_crc32
+        return header
+
     def _load(self) -> None:
         if not self.path.exists():
-            header = {"op": "open", "schema": SCHEMA}
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("w", encoding="utf-8") as handle:
-                handle.write(_encode(header) + "\n")
+                handle.write(_encode(self._header_record()) + "\n")
                 handle.flush()
             return
-        raw = self.path.read_text(encoding="utf-8")
-        lines = raw.splitlines()
+        # Stream line by line in binary mode: recovery memory stays O(1)
+        # in the file size, and the truncation point is byte-exact (no
+        # text-mode newline arithmetic).
         records: list[dict] = []
+        torn_at: int | None = None
         keep_bytes = 0
-        for i, line in enumerate(lines):
+        index = 0
+        for offset, raw in _iter_journal_lines(self.path):
+            line = raw.decode("utf-8", errors="replace")
             if not line.strip():
-                keep_bytes += len(line.encode()) + 1
+                if torn_at is None:
+                    keep_bytes = offset + len(raw)
+                index += 1
                 continue
-            record = _decode(line)
-            if record is None:
-                if any(rest.strip() for rest in lines[i + 1:]):
-                    raise JournalError(
-                        f"{self.path}: journal record {i} fails its "
-                        f"checksum with intact records after it — the "
-                        f"file is corrupt, not torn"
-                    )
-                # Torn tail: the crash-mid-append signature.  Truncate it
-                # away; the un-acknowledged mutation never happened.
-                warnings.warn(
-                    f"{self.path}: truncating torn final journal record",
-                    RuntimeWarning,
-                    stacklevel=4,
+            if torn_at is not None:
+                raise JournalError(
+                    f"{self.path}: journal record {torn_at} fails its "
+                    f"checksum with intact records after it — the "
+                    f"file is corrupt, not torn"
                 )
-                obs.counter("delta.journal_truncated")
-                obs.counter("delta.journal_torn_tail")
-                self.torn_tail_repairs += 1
-                with self.path.open("r+", encoding="utf-8") as handle:
-                    handle.truncate(keep_bytes)
-                break
+            record = _decode(line)
+            if record is None or not raw.endswith(b"\n"):
+                # Candidate torn tail; only confirmed if nothing valid
+                # follows.  (A final line without its newline is torn by
+                # definition — appends write the newline in the same
+                # buffer as the record.)
+                torn_at = index
+                index += 1
+                continue
             if not records:
                 if record.get("schema") != SCHEMA:
                     raise JournalError(
@@ -131,8 +246,30 @@ class MutationJournal:
                         f"{record.get('schema')!r} (this build reads "
                         f"{SCHEMA!r})"
                     )
+                self.generation = int(record.get("generation", 0))
+                self.base_name = record.get("base")
+                base_crc = record.get("base_crc32")
+                self.base_crc32 = (
+                    None if base_crc is None else int(base_crc)
+                )
             records.append(record)
-            keep_bytes += len(line.encode()) + 1
+            keep_bytes = offset + len(raw)
+            index += 1
+        if torn_at is not None:
+            # Torn tail: the crash-mid-append signature.  Truncate it
+            # away; the un-acknowledged mutation never happened.
+            warnings.warn(
+                f"{self.path}: truncating torn final journal record",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            obs.counter("delta.journal_truncated")
+            obs.counter("delta.journal_torn_tail")
+            self.torn_tail_repairs += 1
+            with self.path.open("r+b") as handle:
+                handle.truncate(keep_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
         if not records:
             raise JournalError(f"{self.path}: journal has no header record")
         self._records = records[1:]  # drop the header
@@ -170,11 +307,11 @@ class MutationJournal:
     # Appends (fsync before acknowledging)
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
-        import os
-
         self._handle.write(_encode(record) + "\n")
         self._handle.flush()
+        faults.maybe_kill_at("durability.journal.append")
         os.fsync(self._handle.fileno())
+        faults.maybe_kill_at("durability.journal.fsync")
         self._records.append(record)
         obs.counter("delta.journal_records")
 
@@ -199,14 +336,90 @@ class MutationJournal:
         })
 
     # ------------------------------------------------------------------
+    # Checkpoint generations
+    # ------------------------------------------------------------------
+    def start_generation(
+        self,
+        *,
+        base_name: str,
+        base_crc32: int,
+        carried_records: list[dict],
+    ) -> None:
+        """Swap in a fresh generation of this journal, atomically.
+
+        Writes a complete replacement journal — new header pinning
+        ``base_name``/``base_crc32``, then ``carried_records`` (mutations
+        that landed after the checkpoint snapshot and are therefore not
+        folded into the new base) — to a staging file, fsyncs it, and
+        ``os.replace``s it over the live path.  The rename is the commit
+        point: a crash before it leaves the old generation fully intact,
+        a crash after it leaves the new one fully intact.
+
+        Callers (:func:`repro.durability.checkpoint`) must hold the
+        index's write latch: the live append handle is closed and
+        reopened across the swap.
+        """
+        new_generation = self.generation + 1
+        staging = self.path.with_name(
+            self.path.name + f".gen{new_generation:04d}.tmp"
+        )
+        header = {
+            "op": "open",
+            "schema": SCHEMA,
+            "generation": new_generation,
+            "base": str(base_name),
+            "base_crc32": int(base_crc32),
+        }
+        with staging.open("w", encoding="utf-8") as handle:
+            handle.write(_encode(header) + "\n")
+            for record in carried_records:
+                handle.write(_encode(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.maybe_kill_at("durability.checkpoint.journal")
+        self._handle.close()
+        os.replace(staging, self.path)
+        _fsync_dir(self.path.parent)
+        # Committed on disk; bring the in-memory view up before the
+        # post-commit kill site so an in-process SimulatedCrash leaves a
+        # consistent (new-generation) journal object behind.
+        self.generation = new_generation
+        self.base_name = str(base_name)
+        self.base_crc32 = int(base_crc32)
+        self._records = list(carried_records)
+        self._handle = self.path.open("a", encoding="utf-8")
+        obs.counter("durability.journal_generations")
+        faults.maybe_kill_at("durability.checkpoint.commit")
+
+    # ------------------------------------------------------------------
     @property
     def num_records(self) -> int:
         """Mutation records (header excluded)."""
         return len(self._records)
+
+    def records_snapshot(self) -> list[dict]:
+        """A shallow copy of the current mutation records (checkpoint
+        uses it to mark the fold point under the read latch)."""
+        return list(self._records)
 
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
 
     def __repr__(self) -> str:
-        return f"<MutationJournal {self.path} records={self.num_records}>"
+        return (
+            f"<MutationJournal {self.path} gen={self.generation} "
+            f"records={self.num_records}>"
+        )
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync (persists a rename's directory entry)."""
+    import contextlib
+
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)

@@ -179,6 +179,10 @@ class MutableIndex:
                     self.journal.torn_tail_repairs
                     if self.journal is not None else 0
                 ),
+                "journal_generation": (
+                    self.journal.generation
+                    if self.journal is not None else 0
+                ),
             }
         return out
 
@@ -482,6 +486,24 @@ class MutableIndex:
             "rebuilt_shards": changed,
             "reused_shards": num_shards - len(changed),
         }
+
+    # ------------------------------------------------------------------
+    # Checkpoint (fold the journal into a fresh base database)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Fold the journal into a new generation-numbered base database.
+
+        Compaction absorbs the memtable into the *index*; checkpointing
+        folds the journal into the *base file*, so recovery replays a
+        short (usually empty) journal over a fresh base instead of the
+        whole mutation history.  Delegates to
+        :func:`repro.durability.checkpoint`; raises
+        :class:`~repro.durability.errors.CheckpointError` (with the old
+        generation still serving) on any failure before the commit
+        rename."""
+        from repro.durability.checkpoint import checkpoint as _checkpoint
+
+        return _checkpoint(self)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

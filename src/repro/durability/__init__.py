@@ -1,0 +1,57 @@
+"""`repro.durability`: checkpointing, backup/restore, and scrubbing.
+
+The mutation layer (PR 7) made the deployment *crash-consistent*: base +
+journal = database, with every record fsynced and checksummed.  This
+package makes it *operable over time*:
+
+* :func:`checkpoint` / :func:`checkpoint_offline` fold the journal into
+  a fresh generation-numbered base database so the journal stays small —
+  the atomic rename of the replacement journal is the commit point.
+* :func:`create_backup` / :func:`restore_backup` /
+  :func:`verify_backup` capture crash-consistent snapshots into
+  checksummed archives and refuse to install anything that fails
+  verification.
+* :class:`Scrubber` continuously re-verifies every artifact's checksum
+  in the background and self-heals what a live replica or loaded object
+  can still vouch for.
+* :func:`verify_deployment` is the offline auditor behind
+  ``repro verify``.
+"""
+
+from repro.durability.backup import (
+    create_backup,
+    restore_backup,
+    verify_backup,
+    verify_deployment,
+)
+from repro.durability.checkpoint import (
+    base_file_name,
+    checkpoint,
+    checkpoint_offline,
+    resolve_base_path,
+)
+from repro.durability.errors import (
+    BackupError,
+    CheckpointError,
+    DurabilityError,
+    RestoreError,
+    ScrubError,
+)
+from repro.durability.scrub import Scrubber
+
+__all__ = [
+    "BackupError",
+    "CheckpointError",
+    "DurabilityError",
+    "RestoreError",
+    "ScrubError",
+    "Scrubber",
+    "base_file_name",
+    "checkpoint",
+    "checkpoint_offline",
+    "create_backup",
+    "resolve_base_path",
+    "restore_backup",
+    "verify_backup",
+    "verify_deployment",
+]

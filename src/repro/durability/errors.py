@@ -1,0 +1,44 @@
+"""Exception types for the durability subsystem.
+
+All of them are :class:`~repro.resilience.errors.PersistenceError`
+subclasses, so callers that already handle "the stored artifact is
+unusable" (the service's typed rejections, ``repro verify``) catch these
+for free.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import PersistenceError
+
+
+class DurabilityError(PersistenceError):
+    """Base class for checkpoint/backup/restore/scrub failures."""
+
+
+class CheckpointError(DurabilityError):
+    """Journal checkpointing failed and was rolled back.
+
+    The commit point is the atomic rename of the new-generation journal;
+    this error means the rename either never happened (old generation
+    fully intact, on disk and in memory) or happened and the process was
+    then killed mid-epilogue (new generation fully intact — reopening
+    sees it).  Either way ``base + journal = database`` still holds.
+    The cause is chained as ``__cause__``."""
+
+
+class BackupError(DurabilityError):
+    """Snapshot capture failed; the staged directory was discarded and
+    the target path was never created."""
+
+
+class RestoreError(DurabilityError):
+    """Restore refused or failed.  Verification failures are raised
+    *before* any file is touched — a backup that fails its checksums
+    never gets near the destination."""
+
+
+class ScrubError(DurabilityError):
+    """The scrubber found corruption it could not heal: no live replica
+    holds matching bytes and no loaded in-memory object can rewrite the
+    artifact.  Carries the artifact path in the message; surfaced through
+    ``durability.scrub_escalations`` and ``Scrubber.status()``."""

@@ -1,0 +1,417 @@
+"""Background scrubber: continuous re-verification of cold artifacts.
+
+Checksums only help if someone reads them.  The scrubber walks a live
+deployment's on-disk artifacts — shard ``.npz`` files against the
+manifest's crc32s, the manifest against its own footer, the mutation
+journal's per-record crc32s, a checkpointed journal's pinned base file —
+and re-verifies every one, so bit rot is found on the scrubber's clock
+instead of the next unlucky reload's.
+
+Detection is only half the job.  A corrupt artifact is **self-healed**
+when a source of truth is still live, in escalating order:
+
+1. a replica worker still holds the artifact's original bytes in memory
+   (:meth:`ReplicatedIndex.fetch_shard_bytes`) — re-fetch, verify the
+   fetched crc against the manifest, atomically rewrite (the manifest is
+   untouched: the bytes are the originals);
+2. the loaded in-memory index object can rewrite the artifact
+   (``save_index`` → verify → atomic replace).  Rewritten ``.npz`` bytes
+   are *not* identical to the originals (zip metadata), so the manifest
+   entry's checksum is updated and the manifest re-saved — the same
+   commit discipline as compaction;
+3. neither exists → :class:`~repro.durability.errors.ScrubError` is
+   recorded (and raised from :meth:`Scrubber.scrub_once` with
+   ``raise_errors=True``) — the operator restores from backup.
+
+In-flight queries never stop: heals touch only files (atomic replaces)
+and swap the in-memory manifest under the mutable index's write latch
+when one exists.  The background loop runs in a daemon thread at low
+priority (``pace_s`` sleeps between artifacts) and survives every error.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+
+from repro import obs
+from repro.delta.journal import scan_journal
+from repro.durability.errors import ScrubError
+from repro.resilience.atomicio import atomic_write, unwrap_checksummed
+
+
+class Scrubber:
+    """Continuously re-verify one deployment's artifacts.
+
+    ``index`` is the live index object (any of the facade's shapes:
+    ``NBIndex``, ``ShardedIndex``, ``ReplicatedIndex``, ``MutableIndex``)
+    or a zero-argument callable returning the current one — pass the
+    service's ``lambda: manager.index`` so hot reloads and compactions
+    are always scrubbed at their current generation.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        interval_s: float = 30.0,
+        pace_s: float = 0.0,
+        database_path=None,
+    ):
+        self._source = index
+        self.interval_s = float(interval_s)
+        self.pace_s = float(pace_s)
+        #: Lets the scrubber verify a generation-0 journal's base too.
+        self.database_path = (
+            Path(database_path) if database_path is not None else None
+        )
+        self.cycles = 0
+        self.files_checked = 0
+        self.records_checked = 0
+        self.corruptions = 0
+        self.heals = 0
+        self.escalations = 0
+        self.torn_tails = 0
+        self.last_report: dict | None = None
+        self.last_error: str | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # One pass
+    # ------------------------------------------------------------------
+    def _resolve(self):
+        return self._source() if callable(self._source) else self._source
+
+    def scrub_once(self, *, raise_errors: bool = False) -> dict:
+        """One full verification pass; returns the cycle report.
+
+        With ``raise_errors=True`` (the CLI/test path) an unhealed
+        corruption raises :class:`ScrubError` after the full pass, so one
+        bad artifact does not hide another.
+        """
+        report = {
+            "files": 0,
+            "records": 0,
+            "corruptions": [],
+            "healed": [],
+            "escalations": [],
+            "skipped": [],
+        }
+        index = self._resolve()
+        if index is not None:
+            self._scrub_index(index, report)
+        with self._lock:
+            self.cycles += 1
+            self.files_checked += report["files"]
+            self.records_checked += report["records"]
+            self.corruptions += len(report["corruptions"])
+            self.heals += len(report["healed"])
+            self.escalations += len(report["escalations"])
+            self.last_report = report
+        obs.counter("durability.scrub_cycles")
+        obs.counter("durability.scrub_files", report["files"])
+        obs.counter("durability.scrub_records", report["records"])
+        if report["corruptions"]:
+            obs.counter(
+                "durability.scrub_corruptions", len(report["corruptions"])
+            )
+        if report["healed"]:
+            obs.counter("durability.scrub_heals", len(report["healed"]))
+        if report["escalations"]:
+            obs.counter(
+                "durability.scrub_escalations", len(report["escalations"])
+            )
+        if raise_errors and report["escalations"]:
+            raise ScrubError(
+                f"scrub found unhealable corruption: "
+                f"{'; '.join(report['escalations'])}"
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Dispatch over index shapes
+    # ------------------------------------------------------------------
+    def _scrub_index(self, index, report: dict) -> None:
+        journal = getattr(index, "journal", None)
+        if journal is not None:
+            self._scrub_journal(journal, report)
+        base = getattr(index, "base", None)
+        if base is not None:  # MutableIndex: descend into the base
+            if hasattr(base, "manifest"):
+                manifest_path = getattr(index, "manifest_path", None) or (
+                    getattr(base, "path", None)
+                )
+                self._scrub_bundle(
+                    base, manifest_path, report,
+                    latch=getattr(index, "latch", None),
+                )
+            else:
+                self._scrub_single(
+                    base, getattr(index, "index_path", None), report
+                )
+            return
+        if hasattr(index, "manifest"):
+            self._scrub_bundle(
+                index, getattr(index, "path", None), report, latch=None,
+            )
+            return
+        self._scrub_single(index, getattr(index, "index_path", None), report)
+
+    # ------------------------------------------------------------------
+    # Journal + pinned base
+    # ------------------------------------------------------------------
+    def _scrub_journal(self, journal, report: dict) -> None:
+        path = journal.path
+        if not path.exists():
+            report["skipped"].append(f"{path}: journal file absent")
+            return
+        self._pace()
+        scan = scan_journal(path)
+        report["files"] += 1
+        report["records"] += scan["records"]
+        if scan["torn_tail"]:
+            # A live writer's in-flight append looks exactly like a torn
+            # tail; recovery truncates it on reopen.  Count, don't flag.
+            with self._lock:
+                self.torn_tails += 1
+            obs.counter("durability.scrub_torn_tails")
+        for problem in scan["problems"]:
+            report["corruptions"].append(problem)
+            report["escalations"].append(
+                f"{problem} (journals carry the only copy of unfolded "
+                f"mutations — restore from backup)"
+            )
+        base_name = scan["base"]
+        base_crc = scan["base_crc32"]
+        if base_name is None:
+            base_path = self.database_path
+            base_crc = None
+        else:
+            base_path = path.parent / base_name
+        if base_path is None:
+            return
+        self._pace()
+        try:
+            raw = base_path.read_bytes()
+        except OSError as error:
+            message = f"{base_path}: journal base unreadable: {error}"
+            report["corruptions"].append(message)
+            report["escalations"].append(message)
+            return
+        report["files"] += 1
+        if base_crc is not None and zlib.crc32(raw) != base_crc:
+            message = (
+                f"{base_path}: base database fails the crc32 pinned in "
+                f"the generation-{scan['generation']} journal header"
+            )
+            report["corruptions"].append(message)
+            report["escalations"].append(message)
+
+    # ------------------------------------------------------------------
+    # Shard bundle (ShardedIndex / ReplicatedIndex)
+    # ------------------------------------------------------------------
+    def _scrub_bundle(self, index, manifest_path, report, *, latch) -> None:
+        from repro.shard.errors import ManifestError
+        from repro.shard.manifest import ShardManifest
+
+        manifest = index.manifest
+        if manifest_path is None:
+            report["skipped"].append("shard bundle has no manifest path")
+            return
+        manifest_path = Path(manifest_path)
+        self._pace()
+        if not manifest_path.exists():
+            report["skipped"].append(
+                f"{manifest_path}: absent (compaction swap in flight?)"
+            )
+        else:
+            report["files"] += 1
+            try:
+                ShardManifest.load(manifest_path)
+            except ManifestError as error:
+                report["corruptions"].append(str(error))
+                # The serving manifest object is the source of truth —
+                # rewrite the file from it.
+                manifest.save(manifest_path)
+                report["healed"].append(
+                    f"{manifest_path}: rewritten from the serving manifest"
+                )
+        for entry in manifest.shards:
+            self._pace()
+            artifact = manifest_path.parent / entry.path
+            try:
+                raw = artifact.read_bytes()
+            except OSError:
+                report["skipped"].append(
+                    f"{artifact}: absent (compaction swap in flight?)"
+                )
+                continue
+            report["files"] += 1
+            if zlib.crc32(raw) == entry.checksum:
+                continue
+            report["corruptions"].append(
+                f"{artifact}: crc32 mismatch against the shard manifest"
+            )
+            self._heal_shard(
+                index, manifest_path, entry, artifact, report, latch=latch,
+            )
+
+    def _heal_shard(
+        self, index, manifest_path, entry, artifact, report, *, latch,
+    ) -> None:
+        # 1. A live replica still holds the original bytes.
+        fetch = getattr(index, "fetch_shard_bytes", None)
+        if fetch is not None:
+            try:
+                fetched = fetch(entry.shard_id)
+            except Exception as error:  # replica down ≠ unhealable yet
+                report["skipped"].append(
+                    f"{artifact}: replica fetch failed ({error}); trying "
+                    f"local rewrite"
+                )
+                fetched = None
+            if fetched is not None and zlib.crc32(fetched) == entry.checksum:
+                with atomic_write(artifact, "wb") as handle:
+                    handle.write(fetched)
+                report["healed"].append(
+                    f"{artifact}: re-fetched from a live replica"
+                )
+                return
+        # 2. The loaded in-memory shard object can rewrite the artifact.
+        shards = getattr(index, "shards", None)
+        if shards is not None:
+            from repro.index.persistence import save_index
+
+            staging = artifact.with_name(artifact.name + ".scrub-heal")
+            save_index(shards[entry.shard_id], staging)
+            raw = staging.read_bytes()
+            unwrap_checksummed(raw, source=str(staging))
+            os.replace(staging, artifact)
+            # Rewritten npz bytes differ (zip metadata) — update the
+            # manifest entry's checksum and commit, as compaction does.
+            manifest = index.manifest
+            new_entries = tuple(
+                dataclasses.replace(e, checksum=zlib.crc32(raw))
+                if e.shard_id == entry.shard_id else e
+                for e in manifest.shards
+            )
+            new_manifest = dataclasses.replace(manifest, shards=new_entries)
+            new_manifest.save(manifest_path)
+            swap = latch.write() if latch is not None else (
+                contextlib.nullcontext()
+            )
+            with swap:
+                index.manifest = new_manifest
+            report["healed"].append(
+                f"{artifact}: rewritten from the loaded shard object"
+            )
+            return
+        # 3. Nobody holds good bytes.
+        report["escalations"].append(
+            f"{artifact}: corrupt and no live replica or loaded object "
+            f"holds matching bytes — restore from backup"
+        )
+
+    # ------------------------------------------------------------------
+    # Single checksummed .npz
+    # ------------------------------------------------------------------
+    def _scrub_single(self, index, index_path, report: dict) -> None:
+        if index_path is None:
+            return  # purely in-memory index: nothing on disk to scrub
+        index_path = Path(index_path)
+        self._pace()
+        if not index_path.exists():
+            report["skipped"].append(f"{index_path}: absent")
+            return
+        report["files"] += 1
+        from repro.resilience.errors import CorruptIndexError
+
+        try:
+            unwrap_checksummed(
+                index_path.read_bytes(), source=str(index_path)
+            )
+            return
+        except CorruptIndexError as error:
+            report["corruptions"].append(str(error))
+        from repro.index.persistence import save_index
+
+        staging = index_path.with_name(index_path.name + ".scrub-heal")
+        save_index(index, staging)
+        unwrap_checksummed(staging.read_bytes(), source=str(staging))
+        os.replace(staging, index_path)
+        report["healed"].append(
+            f"{index_path}: rewritten from the loaded index object"
+        )
+
+    def _pace(self) -> None:
+        if self.pace_s > 0:
+            time.sleep(self.pace_s)
+
+    # ------------------------------------------------------------------
+    # Background service
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`scrub_once` every ``interval_s`` in a daemon thread.
+        Every exception is caught and recorded — the scrubber outlives
+        transient failures."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.scrub_once()
+                except Exception as error:  # never kill the service
+                    with self._lock:
+                        self.last_error = (
+                            f"{type(error).__name__}: {error}"
+                        )
+                    obs.counter("durability.scrub_cycle_errors")
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-scrubber", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def status(self) -> dict:
+        """Statable summary — the service's ``scrub_status`` op payload."""
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_s": self.interval_s,
+                "cycles": self.cycles,
+                "files_checked": self.files_checked,
+                "records_checked": self.records_checked,
+                "corruptions": self.corruptions,
+                "heals": self.heals,
+                "escalations": self.escalations,
+                "torn_tails": self.torn_tails,
+                "last_error": self.last_error,
+                "last_report": self.last_report,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Scrubber cycles={self.cycles} files={self.files_checked} "
+            f"corruptions={self.corruptions} heals={self.heals} "
+            f"running={self.running}>"
+        )

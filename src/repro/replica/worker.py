@@ -20,6 +20,7 @@ op                    effect
 ``select``            retire a chosen home graph from the frontier
 ``update``            Theorem 6–8 broadcast (sparse covered delta)
 ``close``             drop a session
+``fetch_shard``       chunk of the artifact's verified startup bytes
 ====================  =====================================================
 
 Sessions are keyed by a coordinator-chosen ``sid`` and bounded by an LRU
@@ -47,6 +48,7 @@ from __future__ import annotations
 import os
 import socket
 import traceback
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 
@@ -68,6 +70,10 @@ _NEG_INF = float("-inf")
 #: restores an evicted session transparently, so the cap only bounds
 #: memory, never correctness.
 SESSION_CAP = 8
+
+#: ``fetch_shard`` chunk cap: 1 MiB of raw bytes is 2 MiB of hex, half
+#: the wire's 4 MiB frame limit.
+FETCH_CHUNK_BYTES = 1 << 20
 
 
 def _num(value) -> float | None:
@@ -120,6 +126,11 @@ class ShardWorker:
         self.database = database
         sub = database.subset([int(i) for i in self.members])
         artifact = manifest.artifact_path(self.shard_id, manifest_path.parent)
+        #: The verified startup bytes, retained for ``fetch_shard``: every
+        #: local replica mmap/opens the *same* artifact file, so healing a
+        #: corrupted file needs a copy that does not live on that disk.
+        self.artifact_path = artifact
+        self.artifact_bytes = artifact.read_bytes()
         self.index = load_index(artifact, sub, distance, workers=engine_workers)
         self.ladder = ThresholdLadder(manifest.ladder)
         #: Cross-shard distances go through a *global-id* engine over the
@@ -149,7 +160,7 @@ class ShardWorker:
             return _error("invalid_request", f"unknown op {op!r}")
         try:
             session = None
-            if op not in ("hello", "ping", "open"):
+            if op not in ("hello", "ping", "open", "fetch_shard"):
                 session = self._session(request)
             with deadline_scope(session.deadline if session else None):
                 result = handler(self, request, session)
@@ -308,6 +319,27 @@ class ShardWorker:
         self.sessions.pop(request.get("sid"), None)
         return {}
 
+    def _op_fetch_shard(self, request: dict, _session) -> dict:
+        """Serve a chunk of the shard artifact's *original* bytes.
+
+        The scrubber's self-heal path: when the on-disk artifact rots,
+        any live replica can hand back the bytes it verified at startup.
+        Chunked (hex over line-JSON) to stay far under the frame cap;
+        the crc32 covers the whole artifact so the assembling side can
+        verify the reassembly end to end."""
+        offset = int(request.get("off", 0))
+        if offset < 0:
+            raise wire.ReplicaProtocolError("fetch_shard: negative offset")
+        length = int(request.get("len", FETCH_CHUNK_BYTES))
+        length = max(0, min(length, FETCH_CHUNK_BYTES))
+        chunk = self.artifact_bytes[offset:offset + length]
+        return {
+            "data": chunk.hex(),
+            "off": offset,
+            "size": len(self.artifact_bytes),
+            "crc32": zlib.crc32(self.artifact_bytes),
+        }
+
     _HANDLERS = {
         "hello": _op_hello,
         "ping": _op_ping,
@@ -320,6 +352,7 @@ class ShardWorker:
         "select": _op_select,
         "update": _op_update,
         "close": _op_close,
+        "fetch_shard": _op_fetch_shard,
     }
 
 

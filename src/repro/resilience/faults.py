@@ -67,6 +67,17 @@ class FaultPlan:
     replica_wedge_seconds:
         How long a wedged replica sleeps (default 30 s — far past any
         sane op timeout, so the router must fail over, never wait).
+    kill_site:
+        Name of a :func:`maybe_kill_at` durability site (e.g.
+        ``"durability.checkpoint.commit"``).  In-process plans raise
+        :class:`SimulatedCrash` when the site is reached (after
+        ``kill_skip`` earlier hits), exactly like ``abort_after_stage``;
+        subprocess chaos drives the same sites via the
+        ``REPRO_FAULT_KILL`` environment variable, which hard-kills with
+        ``os._exit(137)`` — the honest ``kill -9`` signature.
+    kill_skip:
+        How many hits of ``kill_site`` to survive before dying, so a
+        chaos sweep can kill at the Nth fsync/rename, not just the first.
     """
 
     crash_token: str | os.PathLike | None = None
@@ -80,6 +91,8 @@ class FaultPlan:
     replica_kill_replicas: tuple | None = None
     replica_wedge_token: str | os.PathLike | None = None
     replica_wedge_seconds: float = 30.0
+    kill_site: str | None = None
+    kill_skip: int = 0
 
 
 _PLAN: FaultPlan | None = None
@@ -91,11 +104,13 @@ def install(plan: FaultPlan) -> None:
     global _PLAN, _slow_injected
     _PLAN = plan
     _slow_injected = 0
+    _kill_hits.clear()
 
 
 def clear() -> None:
     global _PLAN
     _PLAN = None
+    _kill_hits.clear()
 
 
 def active() -> FaultPlan | None:
@@ -161,6 +176,60 @@ def maybe_abort_stage(stage: str) -> None:
     plan = _PLAN
     if plan is not None and plan.abort_after_stage == stage:
         raise SimulatedCrash(f"fault injection: killed after stage {stage!r}")
+
+
+#: ``REPRO_FAULT_KILL`` parse cache: unset sentinel → (site, skip) | None.
+_KILL_ENV_UNSET = object()
+_kill_env = _KILL_ENV_UNSET
+_kill_hits: dict = {}
+
+
+def _kill_env_spec():
+    """Parse ``REPRO_FAULT_KILL="site"`` or ``"site:skip"`` once."""
+    global _kill_env
+    if _kill_env is _KILL_ENV_UNSET:
+        raw = os.environ.get("REPRO_FAULT_KILL")
+        if not raw:
+            _kill_env = None
+        else:
+            site, _, skip = raw.partition(":")
+            _kill_env = (site, int(skip) if skip else 0)
+    return _kill_env
+
+
+def kill_site_hits(site: str) -> int:
+    """How many times :func:`maybe_kill_at` matched ``site`` so far —
+    lets a chaos driver learn how many fsync/rename points a stage has."""
+    return _kill_hits.get(site, 0)
+
+
+def maybe_kill_at(site: str) -> None:
+    """Power-failure site: an fsync/rename point in a durability path.
+
+    Two kill modes share the site names: an installed plan with
+    ``kill_site`` raises :class:`SimulatedCrash` (in-process tests roll
+    back and re-open), while the ``REPRO_FAULT_KILL`` environment
+    variable — inherited by CLI subprocesses — dies hard with
+    ``os._exit(137)``, which is as close to ``kill -9`` as a process can
+    do to itself: no atexit, no flush, no finally.
+    """
+    plan = _PLAN
+    spec = None
+    if plan is not None and plan.kill_site is not None:
+        spec = (plan.kill_site, plan.kill_skip, False)
+    else:
+        env = _kill_env_spec()
+        if env is not None:
+            spec = (env[0], env[1], True)
+    if spec is None or spec[0] != site:
+        return
+    hits = _kill_hits.get(site, 0)
+    _kill_hits[site] = hits + 1
+    if hits < spec[1]:
+        return
+    if spec[2]:
+        os._exit(137)
+    raise SimulatedCrash(f"fault injection: killed at {site!r}")
 
 
 def _replica_selected(plan: FaultPlan, replica_index: int) -> bool:

@@ -13,12 +13,21 @@ Writes are append-only under a lock (atomic enough for a single process;
 the service owns its crash log).  With no path configured the journal
 still counts crashes (``service.crashes``) and keeps the last few entries
 in memory for ``stats``-style introspection.
+
+The on-disk log is **size-bounded**: once an append would push the file
+past ``max_bytes`` the log rotates (``crash.log`` → ``crash.log.1`` →
+``crash.log.2`` …), keeping the newest ``keep_rotated`` rotated files —
+a long-lived service with a flaky client cannot fill the disk with
+tracebacks.  Rotations are counted (``service.crashlog_rotations``) and
+surfaced through :meth:`CrashJournal.stats`.
 """
 
 from __future__ import annotations
 
 import collections
+import contextlib
 import json
+import os
 import threading
 import time
 import traceback
@@ -26,12 +35,25 @@ from pathlib import Path
 
 from repro import obs
 
+#: Default size bound for the on-disk crash log (1 MiB of tracebacks).
+DEFAULT_MAX_BYTES = 1 << 20
+
 
 class CrashJournal:
-    """Append-only crash log with an in-memory tail."""
+    """Append-only, size-rotated crash log with an in-memory tail."""
 
-    def __init__(self, path: str | Path | None = None, *, keep_last: int = 16):
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        keep_last: int = 16,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        keep_rotated: int = 3,
+    ):
         self.path = None if path is None else Path(path)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.keep_rotated = max(0, int(keep_rotated))
+        self.rotations = 0
         self._lock = threading.Lock()
         self._tail: collections.deque[dict] = collections.deque(maxlen=keep_last)
         self.crashes = 0
@@ -51,10 +73,37 @@ class CrashJournal:
             self.crashes += 1
             self._tail.append(entry)
             if self.path is not None:
+                line = json.dumps(entry) + "\n"
+                self._maybe_rotate(len(line.encode()))
                 with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(json.dumps(entry) + "\n")
+                    handle.write(line)
         obs.counter("service.crashes")
         return entry
+
+    def _maybe_rotate(self, incoming_bytes: int) -> None:
+        """Shift ``path`` → ``path.1`` → … when the next append would
+        cross the size bound.  Called under the lock."""
+        if self.max_bytes is None:
+            return
+        try:
+            current = self.path.stat().st_size
+        except OSError:
+            return  # nothing on disk yet
+        if current == 0 or current + incoming_bytes <= self.max_bytes:
+            return
+        with contextlib.suppress(OSError):
+            oldest = Path(f"{self.path}.{self.keep_rotated}")
+            if self.keep_rotated == 0:
+                oldest = self.path
+            oldest.unlink(missing_ok=True)
+        for slot in range(self.keep_rotated, 1, -1):
+            with contextlib.suppress(OSError):
+                os.replace(f"{self.path}.{slot - 1}", f"{self.path}.{slot}")
+        if self.keep_rotated > 0:
+            with contextlib.suppress(OSError):
+                os.replace(self.path, f"{self.path}.1")
+        self.rotations += 1
+        obs.counter("service.crashlog_rotations")
 
     @staticmethod
     def _describe_request(request) -> dict:
@@ -73,5 +122,6 @@ class CrashJournal:
         with self._lock:
             return {
                 "crashes": self.crashes,
+                "rotations": self.rotations,
                 "path": None if self.path is None else str(self.path),
             }

@@ -23,6 +23,18 @@ evolve without silent misreads) and need a deployment opened with
      "features": [...]}
     {"id": 9, "op": "compact", "v": 1}
 
+Durability admin ops (PR 9) ride the same wire: ``checkpoint`` folds the
+mutation journal into a fresh base generation (mutable + journaled
+deployments only), ``backup`` captures a crash-consistent snapshot into
+the directory named by ``path``, ``scrub`` runs one verification cycle
+over the deployment's artifacts, and ``scrub_status`` reports the
+background scrubber's counters::
+
+    {"id": 10, "op": "checkpoint"}
+    {"id": 11, "op": "backup", "path": "backups/2026-08-08"}
+    {"id": 12, "op": "scrub"}
+    {"id": 13, "op": "scrub_status"}
+
 Responses echo the ``id`` and carry either ``result`` or a typed
 ``error``::
 
@@ -54,6 +66,7 @@ from repro.service.errors import InvalidRequest, ServiceError
 OPS = frozenset({
     "query", "ping", "stats", "reload",
     "insert", "delete", "update", "compact",
+    "checkpoint", "backup", "scrub", "scrub_status",
 })
 
 #: Ops that mutate the index (need a ``mutable=True`` deployment).
@@ -131,6 +144,11 @@ def parse_request(line: str, *, max_bytes: int = MAX_REQUEST_BYTES) -> QueryRequ
     path = payload.get("path")
     if path is not None and not isinstance(path, str):
         raise InvalidRequest("'path' must be a string")
+    if op == "backup" and not path:
+        raise InvalidRequest(
+            "backup needs a 'path' — the directory the snapshot is "
+            "captured into (must not already exist)"
+        )
 
     version = payload.get("v", PROTOCOL_VERSION)
     if op in MUTATION_OPS:

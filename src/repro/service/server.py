@@ -48,7 +48,7 @@ from repro.graphs import quartile_relevance
 from repro.index.errors import OffLadderThetaError
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
-from repro.service import protocol
+from repro.service import crashlog, protocol
 from repro.service.admission import AdmissionController, Ticket
 from repro.service.breaker import BOUND_ONLY, PROBE, BreakerConfig, CircuitBreaker
 from repro.service.crashlog import CrashJournal
@@ -74,16 +74,25 @@ class ServiceConfig:
     drain_grace_s: float = 5.0
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     crash_log: str | None = None
+    crash_log_max_bytes: int | None = crashlog.DEFAULT_MAX_BYTES
+    crash_log_keep: int = 3
     watch: str | None = None
     reload_poll_s: float = 1.0
     max_request_bytes: int = protocol.MAX_REQUEST_BYTES
     metrics_path: str | None = None
+    #: Background scrubber cadence; ``None`` disables the service thread
+    #: (one-shot ``scrub`` protocol ops still work).
+    scrub_interval_s: float | None = None
 
     def __post_init__(self):
         require(self.max_concurrency >= 1, "max_concurrency must be >= 1")
         require(self.max_queue >= 1, "max_queue must be >= 1")
         require(self.drain_grace_s >= 0.0, "drain_grace_s must be >= 0")
         require(self.reload_poll_s > 0.0, "reload_poll_s must be > 0")
+        require(
+            self.scrub_interval_s is None or self.scrub_interval_s > 0.0,
+            "scrub_interval_s must be > 0 (or None to disable)",
+        )
 
 
 class QueryService:
@@ -102,7 +111,16 @@ class QueryService:
             default_timeout_ms=self.config.default_timeout_ms,
         )
         self.breaker = CircuitBreaker(self.config.breaker)
-        self.journal = CrashJournal(self.config.crash_log)
+        self.journal = CrashJournal(
+            self.config.crash_log,
+            max_bytes=self.config.crash_log_max_bytes,
+            keep_rotated=self.config.crash_log_keep,
+        )
+        #: Where this deployment's artifacts live on disk — filled by
+        #: :meth:`open`; the ``backup`` op and the scrubber's journal-base
+        #: resolution read from here.
+        self.source_paths: dict = {}
+        self.scrubber = None
         self._threads: list[threading.Thread] = []
         self._stop_watcher = threading.Event()
         self._started = False
@@ -158,12 +176,18 @@ class QueryService:
             index_path is None or shards_path is None,
             "pass index_path or shards_path, not both",
         )
-        database = repro.open_database(database_path)
+        source_paths = {
+            "database": str(database_path),
+            "journal": None if journal is None else str(journal),
+            "index": None if index_path is None else str(index_path),
+            "shards": None if shards_path is None else str(shards_path),
+        }
         if distance is None:
             distance = repro.StarDistance()
         if config is None:
             config = ServiceConfig()
         if replicas is not None:
+            database = repro.open_database(database_path)
             require(
                 shards_path is not None,
                 "replicas= needs a shard bundle (shards_path)",
@@ -181,13 +205,21 @@ class QueryService:
                 replicas=replicas, workers_per_shard=workers_per_shard,
                 hedge_ms=hedge_ms,
             )
-            return cls(
+            service = cls(
                 index, config=config, distance=distance, workers=workers
             )
+            service.source_paths = source_paths
+            return service
         artifact = shards_path if shards_path is not None else index_path
         if artifact is not None:
+            # With a journal the database travels as a *path*: a
+            # checkpointed journal (generation > 0) pins its own base
+            # file, and open_index resolves + verifies it before replay.
             index = repro.open_index(
-                artifact, database, distance,
+                artifact,
+                database_path if journal is not None
+                else repro.open_database(database_path),
+                distance,
                 shards=shards_path is not None,
                 mutable=mutable, journal=journal, workers=workers,
                 seed=int(build_kwargs.get("seed", 0) or 0),
@@ -200,6 +232,7 @@ class QueryService:
                 "journal= needs a saved artifact (index_path or "
                 "shards_path) to anchor the base generation",
             )
+            database = repro.open_database(database_path)
             index = repro.NBIndex.build(
                 database, distance, workers=workers, **build_kwargs
             )
@@ -214,7 +247,9 @@ class QueryService:
             "a mutable deployment cannot also hot-reload from a watch "
             "path; compaction owns index swaps",
         )
-        return cls(index, config=config, distance=distance, workers=workers)
+        service = cls(index, config=config, distance=distance, workers=workers)
+        service.source_paths = source_paths
+        return service
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -236,8 +271,23 @@ class QueryService:
             )
             watcher.start()
             self._threads.append(watcher)
+        if self.config.scrub_interval_s is not None:
+            self._ensure_scrubber().start()
         obs.counter("service.starts")
         return self
+
+    def _ensure_scrubber(self):
+        """Lazily build the scrubber over the *current* index (the
+        callable indirection keeps it correct across reloads/compactions)."""
+        if self.scrubber is None:
+            from repro.durability import Scrubber
+
+            self.scrubber = Scrubber(
+                lambda: self.manager.index,
+                interval_s=self.config.scrub_interval_s or 30.0,
+                database_path=self.source_paths.get("database"),
+            )
+        return self.scrubber
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -259,6 +309,8 @@ class QueryService:
         grace = self.config.drain_grace_s if grace_s is None else float(grace_s)
         give_up_at = time.monotonic() + grace
         self._stop_watcher.set()
+        if self.scrubber is not None:
+            self.scrubber.stop()
         self.admission.close()
         for thread in self._threads:
             thread.join(max(0.0, give_up_at - time.monotonic()))
@@ -340,6 +392,10 @@ class QueryService:
             "breaker": self.breaker.stats(),
             "reload": self.manager.stats(),
             "crashes": self.journal.stats(),
+            "scrub": (
+                self.scrubber.status() if self.scrubber is not None
+                else {"running": False, "cycles": 0}
+            ),
             "index": index_stats,
         }
 
@@ -392,9 +448,75 @@ class QueryService:
                 )
             generation = self.manager.reload(path)  # ReloadFailed is typed
             return protocol.ok_response(request.id, {"generation": generation})
+        if request.op in ("checkpoint", "backup", "scrub", "scrub_status"):
+            return self._execute_durability(ticket)
         if request.op in protocol.MUTATION_OPS:
             return self._execute_mutation(ticket)
         return self._execute_query(ticket)
+
+    def _execute_durability(self, ticket: Ticket) -> dict:
+        """Durability admin ops: checkpoint / backup / scrub / scrub_status.
+
+        All run on a worker thread like any other request — the journal
+        swap and the backup's source reads take the mutable index's own
+        latch, so in-flight queries are never interrupted."""
+        request = ticket.request
+        from repro.durability import BackupError, CheckpointError, create_backup
+
+        if request.op == "checkpoint":
+            with self.manager.acquire() as index:
+                if not getattr(index, "mutable", False) or (
+                    getattr(index, "journal", None) is None
+                ):
+                    raise InvalidRequest(
+                        "checkpoint needs a mutable deployment with a "
+                        "journal (start it with --mutable --journal)"
+                    )
+                try:
+                    with obs.timer("service.checkpoint_seconds"):
+                        report = index.checkpoint()
+                except CheckpointError as error:
+                    raise QueryFailed(
+                        str(error), exception_type="CheckpointError"
+                    ) from error
+            obs.counter("service.checkpoints")
+            return protocol.ok_response(request.id, report)
+        if request.op == "backup":
+            sources = self.source_paths
+            if not any(
+                sources.get(role)
+                for role in ("database", "journal", "index", "shards")
+            ):
+                raise InvalidRequest(
+                    "backup needs on-disk source artifacts; this service "
+                    "was built in-process (open it over saved files)"
+                )
+            with self.manager.acquire() as index:
+                try:
+                    with obs.timer("service.backup_seconds"):
+                        report = create_backup(
+                            request.path,
+                            database=sources.get("database"),
+                            journal=sources.get("journal"),
+                            index=sources.get("index"),
+                            shards=sources.get("shards"),
+                            latch=getattr(index, "latch", None),
+                        )
+                except BackupError as error:
+                    raise QueryFailed(
+                        str(error), exception_type="BackupError"
+                    ) from error
+            obs.counter("service.backups")
+            return protocol.ok_response(request.id, report)
+        if request.op == "scrub":
+            report = self._ensure_scrubber().scrub_once()
+            return protocol.ok_response(request.id, report)
+        # scrub_status: cheap introspection, no cycle triggered.
+        if self.scrubber is None:
+            return protocol.ok_response(
+                request.id, {"running": False, "cycles": 0}
+            )
+        return protocol.ok_response(request.id, self.scrubber.status())
 
     def _execute_mutation(self, ticket: Ticket) -> dict:
         """Apply one mutation op through the delta layer.
