@@ -10,6 +10,11 @@ when ``CI`` is set it only runs if ``REPRO_BENCH_DELTA=1`` is also set
 (flip it in the workflow to enable).  It is likewise skipped — exit 0,
 not an error — when the benchmark document has not been committed yet.
 
+It also structurally validates the committed ``BENCH_cascade.json``
+(exact-call reduction >= 2x, measured pi-loss <= epsilon per configured
+epsilon, per-stage prune sanity) — that part is machine-independent, so
+it always runs, CI or not.
+
 Usage::
 
     python scripts/check_bench_delta.py [--threshold 0.25] [--json PATH]
@@ -25,7 +30,31 @@ from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 _DEFAULT_JSON = _REPO_ROOT / "BENCH_bitset_hotpath.json"
+_CASCADE_JSON = _REPO_ROOT / "BENCH_cascade.json"
 _META_KEYS = ("nbits", "rows")
+
+
+def check_cascade_document(path: Path = _CASCADE_JSON) -> int:
+    """Validate the committed cascade benchmark gates (structural, no
+    re-run): >= 2x exact-call reduction, pi-loss <= epsilon, prune
+    counters consistent.  Skips cleanly when not committed yet."""
+    if not path.exists():
+        print(f"check_bench_delta: skipped — {path} not committed yet")
+        return 0
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+    from bench_cascade import check_document
+
+    document = json.loads(path.read_text())
+    problems = check_document(document)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {path.name}: {problem}")
+        return 1
+    reduction = document["call_reduction"]["reduction_vs_unfiltered"]
+    print(f"OK: {path.name} — {reduction}x exact-call reduction, "
+          f"pi-loss within epsilon for every configured epsilon")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -38,6 +67,12 @@ def main(argv=None) -> int:
     parser.add_argument("--force", action="store_true",
                         help="run even on CI without REPRO_BENCH_DELTA=1")
     args = parser.parse_args(argv)
+
+    # Structural gates on the cascade benchmark document: machine
+    # independent, so they run everywhere (before the timing opt-out).
+    cascade_status = check_cascade_document()
+    if cascade_status:
+        return cascade_status
 
     if (os.environ.get("CI") and not os.environ.get("REPRO_BENCH_DELTA")
             and not args.force):

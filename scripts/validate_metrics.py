@@ -12,7 +12,8 @@ The validator is dependency-free: it implements exactly the JSON-Schema
 subset the schema file uses (type, const, required, properties,
 additionalProperties, items, ``$ref`` into ``$defs``) plus semantic
 checks the schema language can't express (histogram bucket/count
-arities, timer and span consistency).  ``--require NAME`` additionally
+arities, timer and span consistency, cascade per-stage counter
+coherence).  ``--require NAME`` additionally
 asserts a counter is present and positive — CI uses it to pin the
 instrumented query path to the bench-script counts.
 """
@@ -85,6 +86,52 @@ def validate_node(value, schema: dict, root: dict, path: str = "") -> None:
             validate_node(item, schema["items"], root, f"{path}[{position}]")
 
 
+def _cascade_checks(document: dict, schema: dict) -> None:
+    """Cascade counters are structured: ``cascade.<stage>.<metric>``.
+
+    The stage must come from the schema's ``cascade_stages`` enum (the
+    mirror of ``repro.cascade.KNOWN_STAGES``) and the metric suffix from
+    ``cascade_stage_metrics``; a stage that reports ``evals`` must also
+    report ``prunes`` with ``prunes <= evals`` — a pruned pair is by
+    definition one the stage evaluated.
+    """
+    stages = set(schema["$defs"]["cascade_stages"]["enum"])
+    metrics = set(schema["$defs"]["cascade_stage_metrics"]["enum"])
+    counters = document["metrics"]["counters"]
+    for name in counters:
+        if not name.startswith("cascade."):
+            continue
+        path = f"metrics.counters.{name}"
+        parts = name.split(".")
+        if len(parts) != 3:
+            _fail(path, "cascade counters must be cascade.<stage>.<metric>")
+        _, stage, metric = parts
+        if stage not in stages:
+            _fail(path, f"unknown cascade stage {stage!r} "
+                        f"(schema allows: {', '.join(sorted(stages))})")
+        if metric not in metrics:
+            _fail(path, f"unknown cascade metric {metric!r} "
+                        f"(schema allows: {', '.join(sorted(metrics))})")
+    for stage in stages:
+        evals = counters.get(f"cascade.{stage}.evals")
+        if evals is None:
+            continue
+        prunes = counters.get(f"cascade.{stage}.prunes")
+        if prunes is None:
+            _fail(f"metrics.counters.cascade.{stage}.evals",
+                  f"stage reports evals but no cascade.{stage}.prunes")
+        if prunes > evals:
+            _fail(f"metrics.counters.cascade.{stage}.prunes",
+                  f"prunes ({prunes}) exceed evals ({evals})")
+    for name in document["metrics"]["timers"]:
+        if not name.startswith("cascade."):
+            continue
+        parts = name.split(".")
+        if len(parts) != 3 or parts[1] not in stages or parts[2] != "seconds":
+            _fail(f"metrics.timers.{name}",
+                  "cascade timers must be cascade.<known-stage>.seconds")
+
+
 def _semantic_checks(document: dict) -> None:
     """Consistency rules beyond the schema subset."""
     for name, entry in document["metrics"]["histograms"].items():
@@ -119,6 +166,7 @@ def validate(document: dict, required_counters=()) -> list[str]:
     try:
         validate_node(document, schema, schema)
         _semantic_checks(document)
+        _cascade_checks(document, schema)
     except ValidationError as error:
         return [str(error)]
     counters = document["metrics"]["counters"]

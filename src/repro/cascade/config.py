@@ -1,0 +1,182 @@
+"""Declarative cascade configuration.
+
+A :class:`CascadeConfig` names the ordered lower-bound filter stages a
+query should run between candidate enumeration and exact verification,
+plus the relaxation factor ``epsilon`` of the approximate mode.  It is a
+frozen value object that serializes to plain JSON (``to_wire`` /
+``from_wire``) so service clients, the CLI and replica workers can all
+select, reorder or disable stages per query.
+
+The default configuration is the single ``vantage`` stage — exactly the
+prefilter :class:`~repro.engine.core.DistanceEngine` has always run — so
+a query that never names a cascade keeps its current behavior, counters
+and results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Every stage the pipeline knows how to run, in the catalog order of
+#: ``docs/cascade.md``.  ``full`` resolves to this tuple.
+KNOWN_STAGES: tuple[str, ...] = ("label_size", "assignment", "star", "vantage")
+
+#: The implicit configuration of a query that asked for nothing: the
+#: engine's historical vantage prefilter, and exact verification.
+DEFAULT_STAGES: tuple[str, ...] = ("vantage",)
+
+#: The full cheap-to-expensive ladder.
+FULL_STAGES: tuple[str, ...] = KNOWN_STAGES
+
+_ALIASES = {
+    "full": FULL_STAGES,
+    "default": DEFAULT_STAGES,
+    "none": (),
+    "exact": (),
+}
+
+
+class CascadeConfigError(ValueError):
+    """An invalid cascade specification (unknown stage, bad epsilon)."""
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    """An ordered stage selection plus the ε-relaxation factor.
+
+    Parameters
+    ----------
+    stages:
+        Ordered tuple of stage names from :data:`KNOWN_STAGES`.  The
+        empty tuple is legal and means "exact verification only".
+    epsilon:
+        Relaxation in ``[0, 1)``.  ``0`` is the exact mode (bit-identical
+        to the legacy pipeline for any stage subset); ``ε > 0`` shrinks
+        candidate-generation windows and bound cutoffs to ``(1−ε)·θ``
+        while exact verification still accepts at ``θ``, preserving the
+        ``(1 − 1/e − ε)`` greedy guarantee.
+    """
+
+    stages: tuple[str, ...] = DEFAULT_STAGES
+    epsilon: float = 0.0
+
+    def __post_init__(self):
+        stages = tuple(self.stages)
+        object.__setattr__(self, "stages", stages)
+        seen = set()
+        for name in stages:
+            if name not in KNOWN_STAGES:
+                raise CascadeConfigError(
+                    f"unknown cascade stage {name!r}; "
+                    f"valid stages: {', '.join(KNOWN_STAGES)}"
+                )
+            if name in seen:
+                raise CascadeConfigError(f"duplicate cascade stage {name!r}")
+            seen.add(name)
+        try:
+            epsilon = float(self.epsilon)
+        except (TypeError, ValueError):
+            raise CascadeConfigError(
+                f"epsilon must be a number in [0, 1), got {self.epsilon!r}"
+            ) from None
+        if not (0.0 <= epsilon < 1.0) or epsilon != epsilon:
+            raise CascadeConfigError(
+                f"epsilon must be in [0, 1), got {self.epsilon!r}"
+            )
+        object.__setattr__(self, "epsilon", epsilon)
+
+    # -- derived ------------------------------------------------------
+    @property
+    def approximate(self) -> bool:
+        """True when this configuration relaxes bounds (``ε > 0``)."""
+        return self.epsilon > 0.0
+
+    def is_default(self) -> bool:
+        """True for the implicit legacy configuration (vantage-only, ε=0)."""
+        return self.stages == DEFAULT_STAGES and self.epsilon == 0.0
+
+    def generation_theta(self, theta: float) -> float:
+        """The relaxed threshold ``(1−ε)·θ`` used by bound comparisons."""
+        return (1.0 - self.epsilon) * theta
+
+    # -- serialization ------------------------------------------------
+    def to_wire(self) -> dict:
+        """JSON-safe form, accepted back by :meth:`from_wire`."""
+        return {"stages": list(self.stages), "epsilon": self.epsilon}
+
+    @classmethod
+    def from_wire(cls, payload) -> "CascadeConfig":
+        """Parse the :meth:`to_wire` form; typed errors on malformed input."""
+        if not isinstance(payload, dict):
+            raise CascadeConfigError(
+                f"cascade payload must be an object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"stages", "epsilon"}
+        if unknown:
+            raise CascadeConfigError(
+                f"unknown cascade payload keys: {sorted(unknown)}"
+            )
+        stages = payload.get("stages", DEFAULT_STAGES)
+        if isinstance(stages, str) or not isinstance(stages, (list, tuple)):
+            raise CascadeConfigError("cascade stages must be a list of names")
+        if not all(isinstance(name, str) for name in stages):
+            raise CascadeConfigError("cascade stage names must be strings")
+        return cls(stages=tuple(stages), epsilon=payload.get("epsilon", 0.0))
+
+    @classmethod
+    def parse(cls, spec: str | None, epsilon: float = 0.0) -> "CascadeConfig":
+        """Parse a CLI-style spec: ``full``/``default``/``none`` or a
+        comma-separated stage list (e.g. ``label_size,assignment,vantage``)."""
+        if spec is None:
+            return cls(stages=DEFAULT_STAGES, epsilon=epsilon)
+        if not isinstance(spec, str):
+            raise CascadeConfigError(
+                f"cascade spec must be a string, got {type(spec).__name__}"
+            )
+        key = spec.strip().lower()
+        if key in _ALIASES:
+            return cls(stages=_ALIASES[key], epsilon=epsilon)
+        stages = tuple(part.strip() for part in key.split(",") if part.strip())
+        if not stages:
+            raise CascadeConfigError(f"empty cascade spec {spec!r}")
+        return cls(stages=stages, epsilon=epsilon)
+
+
+def resolve_cascade(cascade, epsilon: float = 0.0) -> CascadeConfig | None:
+    """Normalize the public ``cascade=``/``epsilon=`` query kwargs.
+
+    Returns ``None`` when both are defaulted — callers keep the legacy
+    hot path untouched in that case — otherwise a validated
+    :class:`CascadeConfig`.  Accepts a config, a CLI spec string, a
+    stage list/tuple, or a wire dict.
+    """
+    if cascade is None:
+        if not epsilon:
+            return None
+        return CascadeConfig(stages=DEFAULT_STAGES, epsilon=epsilon)
+    if isinstance(cascade, CascadeConfig):
+        config = cascade
+    elif isinstance(cascade, str):
+        config = CascadeConfig.parse(cascade)
+    elif isinstance(cascade, dict):
+        config = CascadeConfig.from_wire(cascade)
+    elif isinstance(cascade, (list, tuple)):
+        config = CascadeConfig(stages=tuple(cascade))
+    else:
+        raise CascadeConfigError(
+            "cascade must be a CascadeConfig, spec string, stage list or "
+            f"wire dict, got {type(cascade).__name__}"
+        )
+    if epsilon and config.epsilon != float(epsilon):
+        config = replace(config, epsilon=float(epsilon))
+    return config
+
+
+__all__ = [
+    "KNOWN_STAGES",
+    "DEFAULT_STAGES",
+    "FULL_STAGES",
+    "CascadeConfig",
+    "CascadeConfigError",
+    "resolve_cascade",
+]

@@ -1,0 +1,154 @@
+"""Filter stages: cheap lower bounds that prune before exact distances.
+
+Each stage exposes a vectorized batch form (used by the pipeline over an
+engine's candidate blocks) and, for the structural stages, a pure
+per-pair function used directly by the property tests in
+``tests/test_cascade_bounds.py``.
+
+Soundness.  Every shipped stage is a true lower bound of the metric the
+engine verifies with:
+
+``label_size``
+    ``max(|g|,|h|) − Σ_l min(c_g[l], c_h[l])`` — the optimal label
+    matching cost.  Each GED node operation moves it by at most 1 and
+    edge operations leave it unchanged, so it lower-bounds exact GED;
+    against the (unnormalized) star metric each matched star pair costs
+    at least its root-label mismatch and each unmatched star at least 1.
+
+``assignment``
+    EmbAssi-style linear assignment bound: the label matching cost plus
+    half the L1 distance between descending, zero-padded degree
+    sequences.  The degree term lower-bounds the edge-operation count
+    (one edge edit moves two degrees by one each), and sorted-order
+    matching minimizes the L1 sum over all assignments, so the two terms
+    charge disjoint cost pools of both exact GED and the star metric.
+
+``star``
+    Zeng et al.'s ``λ(g, h) / max(4, Δ+1)`` bound of exact GED via the
+    optimal star assignment (:func:`repro.ged.star.star_ged_lower_bound`).
+    Only sound against exact GED — it is skipped (trivially true but
+    circular) when the engine's metric *is* the star distance.
+
+``vantage``
+    Theorem 4's Lipschitz sandwich from the attached vantage embedding:
+    ``max_v |d(g,v) − d(h,v)| ≤ d(g,h) ≤ min_v d(g,v) + d(h,v)`` — the
+    only stage with an *upper* bound too, so it both prunes and accepts.
+
+A stage that cannot apply to the engine's metric or references skips
+silently rather than risking an unsound prune: the structural stages
+require an unnormalized :class:`~repro.ged.StarDistance` or a unit-cost
+:class:`~repro.ged.ExactGED` base plus integer references, ``star``
+requires an exact-GED base, ``vantage`` an attached embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ged.costs import UNIT_COSTS
+from repro.ged.exact import ExactGED
+from repro.ged.star import StarDistance, star_ged_lower_bound
+
+#: The single counter name for vantage/Chebyshev block evaluations.
+#: Every block pass is counted exactly once under this name, whether it
+#: runs inside ``VantageEmbedding.candidates``, the shard coordinator's
+#: bound ladder, or the cascade's vantage stage (PR 10 deduped the old
+#: ``filter.block_evals`` double emission on prefiltered paths).
+BLOCK_EVALS = "cascade.vantage.block_evals"
+
+
+# ----------------------------------------------------------------------
+# Pure per-pair bounds (property-tested against exact GED)
+# ----------------------------------------------------------------------
+def label_size_lower_bound(g, h) -> float:
+    """Optimal label matching cost ``max(|g|,|h|) − Σ_l min(c_g, c_h)``."""
+    hist_g, hist_h = g.label_histogram(), h.label_histogram()
+    common = sum(
+        min(count, hist_h.get(label, 0)) for label, count in hist_g.items()
+    )
+    return float(max(g.num_nodes, h.num_nodes) - common)
+
+
+def degree_lower_bound(g, h) -> float:
+    """Half the L1 gap between descending zero-padded degree sequences."""
+    deg_g = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+    deg_h = sorted((h.degree(v) for v in h.nodes()), reverse=True)
+    width = max(len(deg_g), len(deg_h))
+    deg_g += [0] * (width - len(deg_g))
+    deg_h += [0] * (width - len(deg_h))
+    return 0.5 * sum(abs(a - b) for a, b in zip(deg_g, deg_h))
+
+
+def assignment_lower_bound(g, h) -> float:
+    """EmbAssi-style bound: label matching cost + degree-sequence term."""
+    return label_size_lower_bound(g, h) + degree_lower_bound(g, h)
+
+
+def star_lower_bound(g, h) -> float:
+    """Zeng's star-assignment lower bound of exact GED."""
+    return star_ged_lower_bound(g, h)
+
+
+#: Per-pair form of every pure-bound stage, for the property tests.
+PAIR_BOUNDS = {
+    "label_size": label_size_lower_bound,
+    "assignment": assignment_lower_bound,
+    "star": star_lower_bound,
+}
+
+
+# ----------------------------------------------------------------------
+# Engine gating
+# ----------------------------------------------------------------------
+def structural_bounds_ok(engine) -> bool:
+    """True when ``label_size``/``assignment`` lower-bound the engine's
+    metric: an unnormalized star distance or a unit-cost exact GED."""
+    base = engine._base_distance
+    if type(base) is StarDistance:
+        return not base.normalized
+    return isinstance(base, ExactGED) and base.costs is UNIT_COSTS
+
+
+def star_stage_ok(engine) -> bool:
+    """The star stage only lower-bounds exact GED; against the star
+    metric itself it is circular (it *is* the metric, scaled down)."""
+    base = engine._base_distance
+    return isinstance(base, ExactGED) and base.costs is UNIT_COSTS
+
+
+# ----------------------------------------------------------------------
+# Batch stage evaluation
+# ----------------------------------------------------------------------
+def batch_lower_bounds(name, engine, source, ids, survivors) -> np.ndarray | None:
+    """Vectorized stage lower bounds for the surviving candidate block.
+
+    Returns ``None`` when the stage does not apply to this engine /
+    reference shape (the pipeline then skips the stage without pruning).
+    ``ids`` is the integer id array for all targets (or ``None`` for
+    graph-object references), ``survivors`` the positions still alive.
+    """
+    if name in ("label_size", "assignment"):
+        if (
+            ids is None
+            or engine._graphs is None
+            or not structural_bounds_ok(engine)
+        ):
+            return None
+        features = engine.stage_features()
+        rows = ids[survivors]
+        source_graph = engine._resolve(source)
+        if name == "label_size":
+            return features.label_size_lb(source_graph, rows)
+        return features.assignment_lb(source_graph, rows)
+    if name == "star":
+        if ids is None or engine._graphs is None or not star_stage_ok(engine):
+            return None
+        source_graph = engine._resolve(source)
+        return np.asarray(
+            [
+                star_ged_lower_bound(source_graph, engine._resolve(int(i)))
+                for i in ids[survivors]
+            ],
+            dtype=np.float64,
+        )
+    raise KeyError(f"unknown batch stage {name!r}")

@@ -48,6 +48,15 @@ class QueryStats:
     partial: bool = False
     #: Shard ids whose replica groups were down for this query.
     unavailable_shards: list = field(default_factory=list)
+    #: True when the query ran in the ε-relaxed approximate mode
+    #: (``epsilon > 0``): neighborhoods satisfy ``N_{(1−ε)θ} ⊆ N' ⊆ N_θ``
+    #: and greedy keeps the (1 − 1/e − ε) guarantee.
+    approximate: bool = False
+    #: The configured relaxation factor (0.0 for exact queries).
+    epsilon: float = 0.0
+    #: Per-stage filter-cascade counters (``{stage: {evals, prunes,
+    #: accepts, seconds}}``); empty when the implicit default cascade ran.
+    cascade: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

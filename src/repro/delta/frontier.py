@@ -46,12 +46,15 @@ class ExactFrontier:
         global_engine,
         theta: float,
         stats,
+        cascade=None,
     ):
         self.relevant_global = np.asarray(relevant_global, dtype=np.int64)
         self.universe = universe
         self.global_engine = global_engine
         self.theta = float(theta)
         self.stats = stats
+        #: Shared per-query filter cascade (None → legacy exact scan).
+        self.cascade = cascade
         self.member_set = frozenset(int(g) for g in self.relevant_global)
         self._position = {
             int(g): p for p, g in enumerate(self.relevant_global)
@@ -66,7 +69,9 @@ class ExactFrontier:
         self._rows = universe.empty_matrix(m)
         members = [int(g) for g in self.relevant_global]
         for p, gid in enumerate(members):
-            mask = global_engine.within(gid, members, self.theta)
+            mask = global_engine.within(
+                gid, members, self.theta, cascade=cascade
+            )
             stats.candidates_generated += m
             stats.candidate_verifications += m
             hits = [members[j] for j in np.flatnonzero(mask)]
@@ -154,7 +159,9 @@ class ExactFrontier:
             return cached
         members = [int(g) for g in self.relevant_global]
         if members:
-            mask = self.global_engine.within(gid, members, self.theta)
+            mask = self.global_engine.within(
+                gid, members, self.theta, cascade=self.cascade
+            )
             hits = [members[j] for j in np.flatnonzero(mask)]
             self.stats.candidates_generated += len(members)
             self.stats.candidate_verifications += len(members)

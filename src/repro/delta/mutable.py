@@ -547,11 +547,15 @@ class MutableQuerySession:
         stop_on_zero_gain: bool = False,
         enable_updates: bool = True,
         deadline=None,
+        cascade=None,
+        epsilon: float = 0.0,
     ) -> QueryResult:
         require_positive(theta, "theta")
         require_positive(k, "k")
+        from repro.cascade import runtime_for
         from repro.resilience.deadline import current_deadline, deadline_scope
 
+        runtime = runtime_for(cascade, epsilon)
         mutable = self.mutable
         base = mutable.base
         ladder_index = mutable.ladder.index_for(theta)
@@ -589,6 +593,7 @@ class MutableQuerySession:
                         ladder_index=ladder_index,
                         stats=stats,
                         universe=self.universe,
+                        cascade=runtime,
                     )
                     for s in range(base.num_shards)
                 ]
@@ -605,11 +610,13 @@ class MutableQuerySession:
                         ladder_index=ladder_index,
                         stats=stats,
                         universe=self.universe,
+                        cascade=runtime,
                     )
                 ]
                 shard_of = np.zeros(indexed, dtype=np.int64)
             delta_frontier = ExactFrontier(
-                delta_rel, self.universe, mutable.engine, theta, stats
+                delta_rel, self.universe, mutable.engine, theta, stats,
+                cascade=runtime,
             )
             frontiers.append(delta_frontier)
             stats.init_seconds += time.perf_counter() - started
@@ -635,6 +642,10 @@ class MutableQuerySession:
             coord["memtable_relevant"] = int(delta_rel.size)
             stats.distance_calls = self._total_calls() - calls_before
             stats.coordinator = coord
+            if runtime is not None:
+                stats.epsilon = runtime.epsilon
+                stats.approximate = runtime.approximate
+                stats.cascade = runtime.snapshot()
             if effective_deadline is not None:
                 delta = {
                     kind: count - degradations_before.get(kind, 0)

@@ -131,6 +131,8 @@ class DistanceEngine:
         self._evaluator = batch_evaluator_for(distance)
         self._pool = None
         self._pool_observed = False
+        self._default_cascade = None
+        self._stage_features = None
         self._cache: dict[tuple, float] = {}
         # The pair cache and its counters are shared across every consumer,
         # including the query service's worker threads; the lock covers the
@@ -355,49 +357,58 @@ class DistanceEngine:
                 position += 1
         return matrix
 
-    def within(self, source, targets, theta: float, eps: float = _EPS) -> np.ndarray:
+    def within(
+        self,
+        source,
+        targets,
+        theta: float,
+        eps: float = _EPS,
+        *,
+        cascade=None,
+        prefiltered: bool = False,
+    ) -> np.ndarray:
         """Boolean mask: which targets satisfy ``d(source, t) ≤ θ + eps``.
 
-        With an embedding attached and index references, the vantage lower
-        bound rejects and the vantage upper bound accepts without real
-        evaluations; only the undecided band pays for edit distances.
+        The threshold query runs through a lower-bound filter cascade
+        (:mod:`repro.cascade`).  With no explicit ``cascade`` the
+        engine-held default — the single vantage stage, ε = 0 — performs
+        exactly the historical prefilter: with an embedding attached and
+        index references, the vantage lower bound rejects and the vantage
+        upper bound accepts without real evaluations; only the undecided
+        band pays for edit distances.  An explicit
+        :class:`~repro.cascade.FilterCascade` adds structural stages
+        and/or ε-relaxed cutoffs.
+
+        ``prefiltered=True`` tells the vantage stage the caller already
+        applied the Chebyshev lower bound to these targets (e.g. via
+        ``VantageEmbedding.candidates``), so the redundant lower pass —
+        which would reject exactly zero candidates — is skipped.
         """
         targets = list(targets)
-        mask = np.zeros(len(targets), dtype=bool)
-        if not targets:
-            return mask
-        indexable = (
-            self._embedding is not None
-            and isinstance(source, (int, np.integer))
-            and all(isinstance(t, (int, np.integer)) for t in targets)
+        if cascade is None:
+            if self._default_cascade is None:
+                from repro.cascade import FilterCascade
+
+                self._default_cascade = FilterCascade()
+            cascade = self._default_cascade
+        return cascade.run(
+            self, source, targets, theta, eps, prefiltered=prefiltered
         )
-        if not indexable:
-            mask[:] = self.one_to_many(source, targets) <= theta + eps
-            return mask
-        coords = self._embedding.coords
-        target_ids = np.asarray([int(t) for t in targets])
-        source_row = coords[int(source)]
-        lower = np.max(np.abs(coords[target_ids] - source_row), axis=1)
-        undecided = lower <= theta + eps
-        rejected = int(np.count_nonzero(~undecided))
-        upper = np.min(coords[target_ids] + source_row, axis=1)
-        accepted = undecided & (upper <= theta + eps)
-        accepts = int(np.count_nonzero(accepted))
+
+    def stage_features(self):
+        """The structural-stage feature cache over the attached graphs,
+        extended on demand when the graph list has grown (live inserts)."""
+        require(
+            self._graphs is not None,
+            "stage features require an attached graph list",
+        )
         with self._cache_lock:
-            self.prefilter_lower_rejections += rejected
-            self.prefilter_upper_accepts += accepts
-        mask[accepted] = True
-        remaining = np.flatnonzero(undecided & ~accepted)
-        obs.counter("engine.prefilter.candidates", len(targets))
-        obs.counter("engine.prefilter.lower_rejections", rejected)
-        obs.counter("engine.prefilter.upper_accepts", accepts)
-        obs.counter("engine.prefilter.verified", int(remaining.size))
-        if remaining.size:
-            distances = self.one_to_many(
-                source, [int(target_ids[r]) for r in remaining]
-            )
-            mask[remaining] = distances <= theta + eps
-        return mask
+            if self._stage_features is None:
+                from repro.cascade.features import StageFeatures
+
+                self._stage_features = StageFeatures()
+            self._stage_features.sync(self._graphs)
+            return self._stage_features
 
     # ------------------------------------------------------------------
     # Evaluation backends

@@ -32,6 +32,8 @@ The same machinery yields Zeng-style bounds on the *exact* GED:
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 from scipy.spatial.distance import cdist
@@ -120,9 +122,10 @@ class StarDistance:
     """The star edit distance: a polynomial metric on labelled graphs.
 
     Instances are callables returning a float.  Star profiles are cached per
-    graph object (keyed by ``id``), so repeated distance evaluations against
-    the same database — the dominant access pattern in all index structures —
-    only pay the assignment cost.
+    graph object (keyed by ``id``, weakref-guarded against id recycling), so
+    repeated distance evaluations against the same database — the dominant
+    access pattern in all index structures — only pay the assignment cost,
+    while transient graphs are evicted as they are collected.
 
     ``normalized=True`` divides the raw assignment value by
     ``max(4, Δ + 1)`` with ``Δ`` the larger maximum degree, following the
@@ -133,14 +136,25 @@ class StarDistance:
 
     def __init__(self, normalized: bool = False):
         self.normalized = normalized
-        self._profiles: dict[int, _StarProfile] = {}
+        self._profiles: dict[int, tuple[weakref.ref, _StarProfile]] = {}
 
     def _profile(self, g: LabeledGraph) -> _StarProfile:
+        # Keyed by id() for speed, guarded against id recycling: the entry
+        # stores a weak reference to the graph it was computed for, and a
+        # hit only counts when that referent *is* the queried graph.  The
+        # weakref callback evicts entries as their graphs are collected, so
+        # transient-graph workloads (property tests, live mutations) can't
+        # inherit a stale profile or grow the cache without bound.
         key = id(g)
-        profile = self._profiles.get(key)
-        if profile is None:
-            profile = _StarProfile(g)
-            self._profiles[key] = profile
+        entry = self._profiles.get(key)
+        if entry is not None and entry[0]() is g:
+            return entry[1]
+        profile = _StarProfile(g)
+
+        def _evict(_ref, *, _profiles=self._profiles, _key=key):
+            _profiles.pop(_key, None)
+
+        self._profiles[key] = (weakref.ref(g, _evict), profile)
         return profile
 
     def assignment(self, g1: LabeledGraph, g2: LabeledGraph):

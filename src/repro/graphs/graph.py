@@ -36,7 +36,10 @@ class LabeledGraph:
         along for provenance but ignored by equality.
     """
 
-    __slots__ = ("_node_labels", "_adj", "_num_edges", "graph_id")
+    # __weakref__ lets distance caches hold per-graph data without pinning
+    # the graph (StarDistance keys star profiles by id(); a weak reference
+    # is what makes stale entries evictable when ids are recycled).
+    __slots__ = ("_node_labels", "_adj", "_num_edges", "graph_id", "__weakref__")
 
     def __init__(
         self,

@@ -349,7 +349,9 @@ class NBIndex:
         return QuerySession(self, query_fn)
 
     #: Keyword arguments :meth:`QuerySession.query` accepts beyond (θ, k).
-    _QUERY_KWARGS = frozenset({"stop_on_zero_gain", "enable_updates", "deadline"})
+    _QUERY_KWARGS = frozenset(
+        {"stop_on_zero_gain", "enable_updates", "deadline", "cascade", "epsilon"}
+    )
 
     def query(self, query_fn, theta: float, k: int, **kwargs) -> QueryResult:
         """One-shot top-k representative query (fresh session)."""
@@ -534,6 +536,8 @@ class QuerySession:
         self._collect_relevant(index.tree.root)
         self._node_has = bitset_kernel.popcount_rows(self._node_bits) > 0
         self._pi_hat_columns: dict[int | None, np.ndarray] = {}
+        #: Per-query filter-cascade runtime (None → engine default).
+        self._cascade = None
         #: Bytes of packed coverage state (node bitmaps + covered bitset).
         self.coverage_bytes = (
             self._node_bits.nbytes + self.universe.row_bytes
@@ -581,6 +585,8 @@ class QuerySession:
         stop_on_zero_gain: bool = False,
         enable_updates: bool = True,
         deadline=None,
+        cascade=None,
+        epsilon: float = 0.0,
     ) -> QueryResult:
         """Run the search-and-update phase for (θ, k).
 
@@ -599,8 +605,11 @@ class QuerySession:
         """
         require_positive(theta, "theta")
         require_positive(k, "k")
+        from repro.cascade import runtime_for
         from repro.resilience.deadline import current_deadline, deadline_scope
 
+        runtime = runtime_for(cascade, epsilon)
+        self._cascade = runtime
         index = self.index
         ladder_index = index.ladder.index_for(theta)
         if ladder_index is None:
@@ -654,6 +663,10 @@ class QuerySession:
                 stats.update_seconds += time.perf_counter() - update_started
 
             stats.distance_calls = index._counting.calls - calls_before
+            if runtime is not None:
+                stats.epsilon = runtime.epsilon
+                stats.approximate = runtime.approximate
+                stats.cascade = runtime.snapshot()
             if effective_deadline is not None:
                 delta = {
                     kind: count - degradations_before.get(kind, 0)
@@ -708,7 +721,11 @@ class QuerySession:
         if cached is not None:
             return cached
         index = self.index
-        candidates = index.embedding.candidates(gid, theta + _EPS, self.relevant)
+        runtime = self._cascade
+        # ε > 0 shrinks the generation window to (1−ε)θ: members beyond it
+        # may be dropped (N_{(1−ε)θ} ⊆ N' ⊆ N_θ), never wrongly added.
+        gen_theta = theta if runtime is None else runtime.generation_theta(theta)
+        candidates = index.embedding.candidates(gid, gen_theta + _EPS, self.relevant)
         stats.candidates_generated += int(candidates.size)
         verified = set()
         if index.engine is not None:
@@ -716,7 +733,11 @@ class QuerySession:
             if len(others) < candidates.size:
                 verified.add(gid)
             stats.candidate_verifications += len(others)
-            mask = index.engine.within(gid, others, theta)
+            # The candidate window above already applied the vantage lower
+            # bound at this threshold — `prefiltered` skips re-running it.
+            mask = index.engine.within(
+                gid, others, theta, cascade=runtime, prefiltered=True
+            )
             verified.update(c for c, ok in zip(others, mask) if ok)
         else:
             graph = index.database[gid]

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.cascade.stages import BLOCK_EVALS
 from repro.ged.metric import GraphDistanceFn
 from repro.graphs.graph import LabeledGraph
 from repro.utils.rng import ensure_rng
@@ -208,7 +209,7 @@ class VantageEmbedding:
             window = among[mask0]
         if window.size == 0:
             return window
-        obs.counter("filter.block_evals")
+        obs.counter(BLOCK_EVALS)
         cheb = np.max(np.abs(self.coords[window] - self.coords[i]), axis=1)
         return window[cheb <= theta]
 
@@ -240,7 +241,7 @@ class VantageEmbedding:
             )
         for start in range(0, int(rows.size), block_rows):
             block = rows[start:start + block_rows]
-            obs.counter("filter.block_evals")
+            obs.counter(BLOCK_EVALS)
             cheb = np.max(
                 np.abs(coords_among[None, :, :] - self.coords[block][:, None, :]),
                 axis=2,

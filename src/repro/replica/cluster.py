@@ -313,14 +313,24 @@ class ReplicaQuerySession:
         stop_on_zero_gain: bool = False,
         enable_updates: bool = True,
         deadline=None,
+        cascade=None,
+        epsilon: float = 0.0,
     ) -> QueryResult:
         """Replicated top-k query; same contract — and same answer bits —
         as :meth:`ShardedQuerySession.query`, degrading to a flagged
         partial answer when whole replica groups are unavailable."""
         require_positive(theta, "theta")
         require_positive(k, "k")
+        from repro.cascade import resolve_cascade
         from repro.resilience.deadline import current_deadline, deadline_scope
 
+        # Workers run the stages; the coordinator only ships the config
+        # (in each session-open frame) and flags the result.
+        config = resolve_cascade(cascade, epsilon)
+        cascade_wire = (
+            config.to_wire()
+            if config is not None and not config.is_default() else None
+        )
         cluster = self.cluster
         ladder_index = cluster.ladder.index_for(theta)
         if ladder_index is None:
@@ -354,7 +364,7 @@ class ReplicaQuerySession:
                     coord = new_coord(0)
                     break
                 frontiers = self._open_frontiers(
-                    served, theta, effective_deadline
+                    served, theta, effective_deadline, cascade_wire
                 )
                 coord = new_coord(len(frontiers))
                 try:
@@ -385,6 +395,9 @@ class ReplicaQuerySession:
                         frontier.close()
 
             stats.coordinator = coord
+            if config is not None:
+                stats.epsilon = config.epsilon
+                stats.approximate = config.approximate
             if effective_deadline is not None:
                 for reported in worker_degradations:
                     effective_deadline.merge_degradations(reported)
@@ -425,6 +438,7 @@ class ReplicaQuerySession:
     # ------------------------------------------------------------------
     def _open_frontiers(
         self, served: list[int], theta: float, effective_deadline,
+        cascade_wire: dict | None = None,
     ) -> dict[int, RemoteFrontier]:
         """One fresh-session RemoteFrontier per served shard.
 
@@ -448,6 +462,7 @@ class ReplicaQuerySession:
                 relevant_global=self.shard_relevant[s],
                 universe=self.universe,
                 deadline_state=deadline_state,
+                cascade_wire=cascade_wire,
             )
             for s in served
         }

@@ -233,6 +233,15 @@ class ShardWorker:
             Deadline.from_state(deadline_state)
             if deadline_state is not None else None
         )
+        cascade_payload = request.get("cascade")
+        runtime = None
+        if cascade_payload is not None:
+            from repro.cascade import CascadeConfig, CascadeConfigError, FilterCascade
+
+            try:
+                runtime = FilterCascade(CascadeConfig.from_wire(cascade_payload))
+            except CascadeConfigError as error:
+                raise wire.ReplicaProtocolError(str(error)) from error
         frontier = ShardFrontier(
             shard_id=self.shard_id,
             index=self.index,
@@ -242,6 +251,7 @@ class ShardWorker:
             theta=theta,
             ladder_index=ladder_index,
             stats=QueryStats(),
+            cascade=runtime,
         )
         self.sessions[sid] = _Session(frontier, deadline)
         self.sessions.move_to_end(sid)

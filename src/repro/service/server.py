@@ -612,9 +612,20 @@ class QueryService:
                     index.database, dims=request.dims,
                     quantile=request.quantile,
                 )
+                query_kwargs = {"deadline": deadline}
+                if request.cascade is not None or request.epsilon:
+                    from repro.cascade import CascadeConfig, DEFAULT_STAGES
+
+                    query_kwargs["cascade"] = CascadeConfig(
+                        stages=(
+                            request.cascade
+                            if request.cascade is not None else DEFAULT_STAGES
+                        ),
+                        epsilon=request.epsilon,
+                    )
                 with obs.timer("service.query_seconds"):
                     result = index.query(
-                        query_fn, request.theta, request.k, deadline=deadline
+                        query_fn, request.theta, request.k, **query_kwargs
                     )
                 generation = self.manager.generation
         except OffLadderThetaError as error:
@@ -643,6 +654,11 @@ class QueryService:
             "bound_only": bound_only,
             "generation": generation,
         }
+        # Approximate mode only: exact (ε = 0) responses stay
+        # byte-identical whether or not a cascade was configured.
+        if getattr(result.stats, "approximate", False):
+            body["approximate"] = True
+            body["epsilon"] = float(result.stats.epsilon)
         # Replicated serving only, and only on actual group loss: normal
         # responses stay byte-identical across deployment shapes.
         if getattr(result.stats, "partial", False):

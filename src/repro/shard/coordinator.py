@@ -305,13 +305,17 @@ class ShardedQuerySession:
         stop_on_zero_gain: bool = False,
         enable_updates: bool = True,
         deadline=None,
+        cascade=None,
+        epsilon: float = 0.0,
     ) -> QueryResult:
         """Coordinated top-k query; same contract as the single-index
         :meth:`~repro.index.nbindex.QuerySession.query`, same answer."""
         require_positive(theta, "theta")
         require_positive(k, "k")
+        from repro.cascade import runtime_for
         from repro.resilience.deadline import current_deadline, deadline_scope
 
+        runtime = runtime_for(cascade, epsilon)
         sharded = self.sharded
         ladder_index = sharded.ladder.index_for(theta)
         if ladder_index is None:
@@ -342,6 +346,7 @@ class ShardedQuerySession:
                     ladder_index=ladder_index,
                     stats=stats,
                     universe=self.universe,
+                    cascade=runtime,
                 )
                 for s in range(sharded.num_shards)
             ]
@@ -360,6 +365,10 @@ class ShardedQuerySession:
             )
             stats.distance_calls = self._total_calls() - calls_before
             stats.coordinator = coord
+            if runtime is not None:
+                stats.epsilon = runtime.epsilon
+                stats.approximate = runtime.approximate
+                stats.cascade = runtime.snapshot()
             if effective_deadline is not None:
                 delta = {
                     kind: count - degradations_before.get(kind, 0)

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro import obs
 from repro.bitset import BitsetDelta, BitsetUniverse, kernel as bitset_kernel
+from repro.cascade.stages import BLOCK_EVALS
 from repro.core.results import QueryStats
 from repro.index.nbindex import NBIndex
 from repro.index.nbtree import NBTreeNode
@@ -72,6 +73,7 @@ class ShardFrontier:
         ladder_index: int,
         stats: QueryStats,
         universe: BitsetUniverse | None = None,
+        cascade=None,
     ):
         self.shard_id = shard_id
         self.index = index
@@ -79,6 +81,12 @@ class ShardFrontier:
         self.global_engine = global_engine
         self.theta = float(theta)
         self.stats = stats
+        #: Shared per-query :class:`~repro.cascade.FilterCascade` (None →
+        #: the legacy vantage-only pipeline at ε = 0).
+        self.cascade = cascade
+        self._gen_theta = (
+            float(theta) if cascade is None else cascade.generation_theta(theta)
+        )
         self._g2l = {int(g): i for i, g in enumerate(self.global_ids)}
         self.member_set = frozenset(self._g2l)
 
@@ -231,7 +239,7 @@ class ShardFrontier:
             return 0
         coords = self.foreign_coords(gid)
         among = self.relevant_local[self._uncov_mask]
-        obs.counter("filter.block_evals")
+        obs.counter(BLOCK_EVALS)
         lower = self.index.embedding.lower_bounds_to(coords, among)
         return int(np.count_nonzero(lower <= self.theta + _EPS))
 
@@ -253,7 +261,7 @@ class ShardFrontier:
             local = self._g2l[gid]
             index = self.index
             candidates = index.embedding.candidates(
-                local, theta + _EPS, self.relevant_local
+                local, self._gen_theta + _EPS, self.relevant_local
             )
             stats.candidates_generated += int(candidates.size)
             verified: set[int] = set()
@@ -261,7 +269,9 @@ class ShardFrontier:
             if len(others) < candidates.size:
                 verified.add(local)
             stats.candidate_verifications += len(others)
-            mask = index.engine.within(local, others, theta)
+            mask = index.engine.within(
+                local, others, theta, cascade=self.cascade, prefiltered=True
+            )
             verified.update(c for c, ok in zip(others, mask) if ok)
             members = [int(self.global_ids[c]) for c in verified]
         else:
@@ -269,9 +279,9 @@ class ShardFrontier:
             among = self.relevant_local
             members = []
             if among.size:
-                obs.counter("filter.block_evals")
+                obs.counter(BLOCK_EVALS)
                 lower = self.index.embedding.lower_bounds_to(coords, among)
-                window = among[lower <= theta + _EPS]
+                window = among[lower <= self._gen_theta + _EPS]
                 stats.candidates_generated += int(window.size)
                 if window.size:
                     upper = self.index.embedding.upper_bounds_to(coords, window)
@@ -281,11 +291,26 @@ class ShardFrontier:
                     stats.candidate_verifications += int(undecided.size)
                     if undecided.size:
                         targets = [int(self.global_ids[c]) for c in undecided]
-                        distances = self.global_engine.one_to_many(gid, targets)
-                        members.extend(
-                            t for t, d in zip(targets, distances)
-                            if d <= theta + _EPS
-                        )
+                        if self.cascade is None:
+                            distances = self.global_engine.one_to_many(
+                                gid, targets
+                            )
+                            members.extend(
+                                t for t, d in zip(targets, distances)
+                                if d <= theta + _EPS
+                            )
+                        else:
+                            # Structural stages prune the undecided band
+                            # through the global engine (the foreign graph
+                            # has no row in this shard's embedding, so the
+                            # vantage stage cannot re-run — `prefiltered`).
+                            ok_mask = self.global_engine.within(
+                                gid, targets, theta,
+                                cascade=self.cascade, prefiltered=True,
+                            )
+                            members.extend(
+                                t for t, ok in zip(targets, ok_mask) if ok
+                            )
         result = self.universe.encode_ids(
             np.fromiter(members, dtype=np.int64, count=len(members))
         )

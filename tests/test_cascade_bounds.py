@@ -1,0 +1,147 @@
+"""Property tests: every cascade stage is a true lower bound.
+
+Hypothesis drives random labeled graphs through each pure per-pair
+stage bound (:data:`repro.cascade.stages.PAIR_BOUNDS`) and checks it
+never exceeds exact GED — the soundness obligation that makes ε = 0
+cascade pruning bit-identical.  The structural stages carry the same
+obligation against the (unnormalized) star metric, the vantage stage's
+Lipschitz sandwich is checked against random vantage sets, and the
+vectorized :class:`~repro.cascade.features.StageFeatures` forms must
+agree exactly with the pure per-pair reference they accelerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascade.features import StageFeatures
+from repro.cascade.stages import (
+    PAIR_BOUNDS,
+    assignment_lower_bound,
+    degree_lower_bound,
+    label_size_lower_bound,
+    star_lower_bound,
+)
+from repro.ged import ExactGED, StarDistance
+from repro.graphs import LabeledGraph
+
+exact = ExactGED()
+star = StarDistance()
+
+_LABELS = ("C", "N", "O")
+_TOL = 1e-9
+
+
+@st.composite
+def small_graph(draw, max_nodes=5):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = [draw(st.sampled_from(_LABELS)) for _ in range(n)]
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return LabeledGraph(labels, edges)
+
+
+class TestLowerBoundsExactGED:
+    """``stage_lb(g, h) <= GED(g, h)`` for every shipped pure bound."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graph(), small_graph(), st.sampled_from(sorted(PAIR_BOUNDS)))
+    def test_every_stage_lower_bounds_exact(self, g, h, stage):
+        assert PAIR_BOUNDS[stage](g, h) <= exact(g, h) + _TOL
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graph(), small_graph())
+    def test_degree_term_lower_bounds_exact(self, g, h):
+        assert degree_lower_bound(g, h) <= exact(g, h) + _TOL
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graph())
+    def test_zero_on_identical(self, g):
+        for bound in PAIR_BOUNDS.values():
+            assert bound(g, g) == pytest.approx(0.0, abs=_TOL)
+
+
+class TestLowerBoundsStarMetric:
+    """The structural stages also lower-bound the engine's default
+    (unnormalized) star metric — the gate for running them under a
+    ``StarDistance`` engine."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graph(), small_graph())
+    def test_label_size_lower_bounds_star(self, g, h):
+        assert label_size_lower_bound(g, h) <= star(g, h) + _TOL
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graph(), small_graph())
+    def test_assignment_lower_bounds_star(self, g, h):
+        assert assignment_lower_bound(g, h) <= star(g, h) + _TOL
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graph(), small_graph())
+    def test_star_stage_lower_bounds_star_trivially(self, g, h):
+        # Circular (skipped by the engine gate) but still true: the
+        # scaled-down assignment value never exceeds the star distance.
+        assert star_lower_bound(g, h) <= star(g, h) + _TOL
+
+
+class TestVantageSandwich:
+    """Theorem 4: ``|d(v,g) − d(v,h)| ≤ d(g,h) ≤ d(v,g) + d(v,h)``."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graph(), small_graph(), small_graph())
+    def test_lipschitz_sandwich_star(self, v, g, h):
+        d = star(g, h)
+        assert abs(star(v, g) - star(v, h)) <= d + _TOL
+        assert d <= star(v, g) + star(v, h) + _TOL
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graph(max_nodes=4), small_graph(max_nodes=4),
+           small_graph(max_nodes=4))
+    def test_lipschitz_sandwich_exact(self, v, g, h):
+        d = exact(g, h)
+        assert abs(exact(v, g) - exact(v, h)) <= d + _TOL
+        assert d <= exact(v, g) + exact(v, h) + _TOL
+
+
+class TestVectorizedAgreesWithReference:
+    """The batch :class:`StageFeatures` forms equal the pure bounds."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(small_graph(), min_size=1, max_size=6), small_graph())
+    def test_batch_matches_pairwise(self, graphs, source):
+        features = StageFeatures()
+        features.sync(graphs)
+        rows = np.arange(len(graphs))
+        label = features.label_size_lb(source, rows)
+        assign = features.assignment_lb(source, rows)
+        for i, target in enumerate(graphs):
+            assert label[i] == pytest.approx(
+                label_size_lower_bound(source, target), abs=_TOL
+            )
+            assert assign[i] == pytest.approx(
+                assignment_lower_bound(source, target), abs=_TOL
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(small_graph(max_nodes=3), min_size=1, max_size=4),
+           st.lists(small_graph(max_nodes=7), min_size=1, max_size=3),
+           small_graph(max_nodes=7))
+    def test_incremental_sync_matches_pairwise(self, first, second, source):
+        """Rows appended by a later ``sync`` (wider degrees, new label
+        columns) still reproduce the pure bounds — the live-insert path."""
+        features = StageFeatures()
+        features.sync(first)
+        graphs = first + second
+        features.sync(graphs)
+        rows = np.arange(len(graphs))
+        assign = features.assignment_lb(source, rows)
+        for i, target in enumerate(graphs):
+            assert assign[i] == pytest.approx(
+                assignment_lower_bound(source, target), abs=_TOL
+            )

@@ -93,6 +93,30 @@ class TestBasics:
         sd.clear_cache()
         assert len(sd._profiles) == 0
 
+    def test_cache_survives_id_recycling(self):
+        # Profiles are keyed by id(); CPython recycles ids as soon as a
+        # graph is collected, so a cache hit must verify the entry was
+        # computed for *this* graph.  (Regression: transient graphs in
+        # property tests inherited a stale profile and got distances from
+        # an unrelated pair.)
+        sd = StarDistance()
+        reference = path_graph(["C", "C"])
+        for _ in range(200):
+            g = star_graph("C", ["N"] * 4)
+            assert sd(g, reference) == sd(g, reference) == 11.0
+            del g  # eligible for collection; its id may be reused
+
+    def test_cache_evicts_collected_graphs(self):
+        sd = StarDistance()
+        pinned = path_graph(["C", "N"])
+        sd(pinned, path_graph(["C", "O"]))  # second arg is transient
+        import gc
+
+        gc.collect()
+        live = [entry[0]() for entry in sd._profiles.values()]
+        assert pinned in live
+        assert sum(g is None for g in live) == 0  # dead entries evicted
+
 
 class TestMetricAxioms:
     def test_axioms_on_fixed_set(self):
